@@ -1,0 +1,20 @@
+//! Criterion benches for the DESIGN.md ablations: solver warm start and
+//! plan-space switches.
+
+use clash_bench::ablation::{plan_space_ablation, warm_start_ablation};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("solver_warm_start", |b| {
+        b.iter(|| warm_start_ablation(10, 3));
+    });
+    group.bench_function("plan_space_switches", |b| {
+        b.iter(|| plan_space_ablation(10, 3));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench behind Fig. 7b: end-to-end processing throughput of the
+//! three strategies on the TPC-H-shaped 5-query workload.
+
+use clash_bench::fig7::run_fig7;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_multi_query");
+    group.sample_size(10);
+    for num_queries in [5usize, 10] {
+        group.bench_with_input(
+            BenchmarkId::new("plan_and_stream", num_queries),
+            &num_queries,
+            |b, &nq| {
+                b.iter(|| run_fig7(nq, 2_000, 0.002, 42));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench behind Fig. 8: adaptive vs. static execution of the
+//! 4-way linear join under a mid-run selectivity shift.
+
+use clash_bench::fig8::run_fig8;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_adaptive");
+    group.sample_size(10);
+    group.bench_function("adaptive_vs_static_8s", |b| {
+        b.iter(|| run_fig8(8, 40, 4, 7));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

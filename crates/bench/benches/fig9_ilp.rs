@@ -1,0 +1,30 @@
+//! Criterion benches behind Fig. 9: ILP construction and solving for
+//! random multi-query workloads (runtime series of Fig. 9e / 9f).
+
+use clash_bench::fig9::optimize_random_workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig9e(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9e_runtime_vs_nq");
+    group.sample_size(10);
+    for nq in [20usize, 60, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(nq), &nq, |b, &nq| {
+            b.iter(|| optimize_random_workload(100, nq, 3, 1));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig9f(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9f_runtime_vs_query_size");
+    group.sample_size(10);
+    for size in [3usize, 4, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| optimize_random_workload(100, 10, size, 2));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9e, bench_fig9f);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Runs the ablation studies listed in DESIGN.md: solver warm start,
+//! χ-awareness and intermediate-result materialization.
+
+use clash_bench::ablation::{plan_space_ablation, warm_start_ablation};
+use clash_bench::print_rows;
+
+fn main() {
+    let nq: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20);
+    let mut rows = warm_start_ablation(nq, 3);
+    rows.extend(plan_space_ablation(nq, 3));
+    print_rows("Ablations", &rows);
+    println!("{:<32} {:<12} {:>14} {:>12}", "ablation", "variant", "cost", "runtime[ms]");
+    for r in &rows {
+        println!(
+            "{:<32} {:<12} {:>14.1} {:>12.1}",
+            r.ablation, r.variant, r.cost, r.runtime_ms
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates Fig. 7b (throughput), 7c (memory) and 7d (latency):
+//! multi-query performance of Independent / Shared / CMQO execution on the
+//! TPC-H-shaped workload with 5 and 10 queries.
+//!
+//! Usage: `cargo run --release -p clash-bench --bin fig7_multi_query [num_tuples]`
+
+use clash_bench::fig7::run_fig7;
+use clash_bench::print_rows;
+
+fn main() {
+    let num_tuples: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(50_000);
+    println!("# Fig. 7 — multi-query performance (stream of {num_tuples} tuples per workload)\n");
+    for num_queries in [5usize, 10] {
+        let rows = run_fig7(num_queries, num_tuples, 0.002, 42);
+        print_rows(&format!("Fig. 7b/7c/7d — {num_queries} queries"), &rows);
+        println!(
+            "{:<12} {:>16} {:>12} {:>12} {:>12}",
+            "strategy", "throughput[t/s]", "memory[MB]", "latency[ms]", "results"
+        );
+        for r in &rows {
+            println!(
+                "{:<12} {:>16.0} {:>12.2} {:>12.3} {:>12}",
+                r.strategy, r.throughput_tps, r.memory_mb, r.latency_ms, r.results
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerates Fig. 8: latency of adaptive vs. static execution when the
+//! data characteristics change mid-run.
+//!
+//! Usage: `cargo run --release -p clash-bench --bin fig8_adaptive [duration_s] [rounds_per_s]`
+
+use clash_bench::fig8::run_fig8;
+use clash_bench::print_rows;
+
+fn main() {
+    let duration_s: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30);
+    let rounds_per_s: u64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200);
+    let shift_s = duration_s / 2;
+    println!(
+        "# Fig. 8 — adaptive vs. static execution ({duration_s}s, {rounds_per_s} rounds/s, shift at {shift_s}s)\n"
+    );
+    let points = run_fig8(duration_s, rounds_per_s, shift_s, 7);
+    print_rows("Fig. 8a series", &points);
+    println!(
+        "{:>6} {:>16} {:>16} {:>14} {:>14} {:>8}",
+        "t[s]", "adaptive[µs]", "static[µs]", "adapt sent", "static sent", "reconf"
+    );
+    for p in &points {
+        println!(
+            "{:>6} {:>16.1} {:>16.1} {:>14} {:>14} {:>8}",
+            p.time_s,
+            p.adaptive_latency_us,
+            p.static_latency_us,
+            p.adaptive_tuples_sent,
+            p.static_tuples_sent,
+            p.reconfigurations
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Regenerates Fig. 9a–9f: probe cost savings of multi-query optimization,
+//! ILP problem sizes and optimization runtimes.
+//!
+//! Usage: `cargo run --release -p clash-bench --bin fig9_ilp [max_nq]`
+
+use clash_bench::fig9::{run_probe_cost_sweep, run_query_size_sweep};
+use clash_bench::print_rows;
+
+fn main() {
+    let max_nq: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100);
+    let nq_values: Vec<usize> = (20..=max_nq).step_by(20).collect();
+
+    for num_relations in [10usize, 100] {
+        let rows = run_probe_cost_sweep(num_relations, &nq_values, 1);
+        let fig = if num_relations == 10 { "9a/9b" } else { "9c/9d/9e" };
+        print_rows(&format!("Fig. {fig} — {num_relations} input relations"), &rows);
+        println!(
+            "{:>6} {:>18} {:>14} {:>10} {:>12} {:>12}",
+            "nQ", "individual", "MQO", "vars", "probe ords", "runtime[ms]"
+        );
+        for r in &rows {
+            println!(
+                "{:>6} {:>18.1} {:>14.1} {:>10} {:>12} {:>12.1}",
+                r.num_queries, r.individual_cost, r.mqo_cost, r.variables, r.probe_orders, r.runtime_ms
+            );
+        }
+        println!();
+    }
+
+    // Fig. 9f: query sizes 3..5 for nQ in {10, 20, 30}.
+    let rows = run_query_size_sweep(&[3, 4, 5], &[10, 20, 30], 2);
+    print_rows("Fig. 9f — runtime vs. query size (100 relations)", &rows);
+    println!("{:>6} {:>6} {:>12}", "size", "nQ", "runtime[ms]");
+    for r in &rows {
+        println!("{:>6} {:>6} {:>12.1}", r.query_size, r.num_queries, r.runtime_ms);
+    }
+}

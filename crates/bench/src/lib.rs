@@ -1,0 +1,33 @@
+//! # clash-bench
+//!
+//! Experiment drivers that regenerate every figure of the paper's
+//! evaluation (Section VII). Each driver returns plain data rows; the
+//! binaries in `src/bin/` print them as tables (and JSON), and the
+//! criterion benches in `benches/` time the underlying operations.
+//!
+//! | Paper figure | Driver |
+//! |---|---|
+//! | Fig. 7b/7c/7d (throughput / memory / latency, 5 & 10 queries) | [`fig7::run_fig7`] |
+//! | Fig. 8a/8b (adaptive vs. static execution) | [`fig8::run_fig8`] |
+//! | Fig. 9a–9d (probe cost & problem size vs. nQ) | [`fig9::run_probe_cost_sweep`] |
+//! | Fig. 9e (optimization runtime vs. nQ) | [`fig9::run_probe_cost_sweep`] (runtime column) |
+//! | Fig. 9f (optimization runtime vs. query size) | [`fig9::run_query_size_sweep`] |
+//! | Ablations (DESIGN.md) | [`ablation`] |
+
+pub mod ablation;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+
+/// Prints a slice of serializable rows as aligned text plus one JSON line
+/// per row (machine-readable output consumed by EXPERIMENTS.md tooling).
+pub fn print_rows<T: serde::Serialize + std::fmt::Debug>(title: &str, rows: &[T]) {
+    println!("== {title} ==");
+    for row in rows {
+        match serde_json::to_string(row) {
+            Ok(json) => println!("{json}"),
+            Err(_) => println!("{row:?}"),
+        }
+    }
+    println!();
+}

@@ -1,0 +1,86 @@
+//! Error type shared across the CLASH crates.
+
+use std::fmt;
+
+/// Convenience result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, ClashError>;
+
+/// Errors produced while modeling, optimizing or executing stream join
+/// queries.
+///
+/// The enum is deliberately coarse: each variant corresponds to a layer of
+/// the system (catalog, query, optimizer, solver, runtime) so that callers
+/// can attribute a failure without the crates having to depend on each
+/// other's internal error types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClashError {
+    /// A relation, attribute or store was referenced but never registered.
+    UnknownEntity(String),
+    /// A query is malformed (e.g. disconnected join graph, unknown
+    /// attribute, empty relation list).
+    InvalidQuery(String),
+    /// The optimizer could not produce a plan (e.g. no candidate probe
+    /// orders, infeasible ILP).
+    Optimization(String),
+    /// The ILP solver failed (infeasible, unbounded, or iteration limit).
+    Solver(String),
+    /// A runtime component failed (channel closed, worker panicked, ...).
+    Runtime(String),
+    /// Configuration error (invalid window, epoch length of zero, ...).
+    Config(String),
+}
+
+impl fmt::Display for ClashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClashError::UnknownEntity(s) => write!(f, "unknown entity: {s}"),
+            ClashError::InvalidQuery(s) => write!(f, "invalid query: {s}"),
+            ClashError::Optimization(s) => write!(f, "optimization failed: {s}"),
+            ClashError::Solver(s) => write!(f, "solver error: {s}"),
+            ClashError::Runtime(s) => write!(f, "runtime error: {s}"),
+            ClashError::Config(s) => write!(f, "configuration error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ClashError {}
+
+impl ClashError {
+    /// Short helper for the most common construction pattern.
+    pub fn invalid_query(msg: impl Into<String>) -> Self {
+        ClashError::InvalidQuery(msg.into())
+    }
+
+    /// Short helper for unknown-entity errors.
+    pub fn unknown(msg: impl Into<String>) -> Self {
+        ClashError::UnknownEntity(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = ClashError::InvalidQuery("no predicates".into());
+        assert_eq!(e.to_string(), "invalid query: no predicates");
+        let e = ClashError::Solver("infeasible".into());
+        assert!(e.to_string().contains("infeasible"));
+    }
+
+    #[test]
+    fn helpers_construct_expected_variants() {
+        assert!(matches!(
+            ClashError::invalid_query("x"),
+            ClashError::InvalidQuery(_)
+        ));
+        assert!(matches!(ClashError::unknown("y"), ClashError::UnknownEntity(_)));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&ClashError::Runtime("boom".into()));
+    }
+}

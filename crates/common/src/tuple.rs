@@ -1,0 +1,275 @@
+//! Stream tuples and (partial) join results.
+//!
+//! A [`Tuple`] is either a base tuple of one streamed relation or the
+//! concatenation of base tuples from several relations (a partial or full
+//! join result that travels along a probe order). Either way it carries
+//!
+//! * the set of base relations it covers,
+//! * its attribute values, addressed by fully qualified [`AttrRef`]s, and
+//! * a timestamp `τ` — for base tuples the arrival timestamp, for join
+//!   results the maximum of the constituents' timestamps (the time at which
+//!   the result could first be produced, cf. Figure 1 of the paper).
+//!
+//! Values are stored behind an `Arc` so that routing a tuple to several
+//! stores (sharing between probe orders, broadcasts) only copies a pointer.
+
+use crate::ids::RelationId;
+use crate::relation_set::RelationSet;
+use crate::schema::{AttrRef, Schema};
+use crate::time::Timestamp;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A stream tuple or partial join result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tuple {
+    /// Timestamp `τ`: arrival time for base tuples, max constituent
+    /// timestamp for join results.
+    pub ts: Timestamp,
+    /// Wall-clock-like ingestion timestamp of the *latest* constituent,
+    /// used by the runtime for end-to-end latency measurements (Fig. 7d).
+    pub ingest_ts: Timestamp,
+    /// The base relations whose attributes this tuple carries.
+    pub relations: RelationSet,
+    /// Attribute values.
+    values: Arc<Vec<(AttrRef, Value)>>,
+}
+
+impl Tuple {
+    /// Creates a base tuple of a single relation.
+    pub fn base(
+        relation: RelationId,
+        ts: Timestamp,
+        values: Vec<(AttrRef, Value)>,
+    ) -> Self {
+        Tuple {
+            ts,
+            ingest_ts: ts,
+            relations: RelationSet::singleton(relation),
+            values: Arc::new(values),
+        }
+    }
+
+    /// Looks up a value by fully qualified attribute reference.
+    pub fn get(&self, attr: &AttrRef) -> Option<&Value> {
+        self.values
+            .iter()
+            .find(|(a, _)| a == attr)
+            .map(|(_, v)| v)
+    }
+
+    /// Number of attribute values carried.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over `(attribute, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&AttrRef, &Value)> {
+        self.values.iter().map(|(a, v)| (a, v))
+    }
+
+    /// `true` if this tuple covers more than one base relation, i.e. it is a
+    /// partial join result rather than an input tuple.
+    pub fn is_intermediate(&self) -> bool {
+        self.relations.len() > 1
+    }
+
+    /// Concatenates two tuples covering disjoint relation sets into a join
+    /// result. The caller is responsible for having checked the join
+    /// predicate; this method only merges payloads and timestamps.
+    ///
+    /// Returns `None` when the relation sets overlap (joining a tuple with
+    /// itself or with an overlapping partial result would be a logic error
+    /// in the probe routing).
+    pub fn join(&self, other: &Tuple) -> Option<Tuple> {
+        if !self.relations.is_disjoint(&other.relations) {
+            return None;
+        }
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend(self.values.iter().cloned());
+        values.extend(other.values.iter().cloned());
+        Some(Tuple {
+            ts: self.ts.max(other.ts),
+            ingest_ts: self.ingest_ts.max(other.ingest_ts),
+            relations: self.relations.union(&other.relations),
+            values: Arc::new(values),
+        })
+    }
+
+    /// Overrides the ingestion timestamp (used by the runtime when a tuple
+    /// enters the system, so latency can be measured independently of the
+    /// application timestamp).
+    pub fn with_ingest_ts(mut self, ingest: Timestamp) -> Tuple {
+        self.ingest_ts = ingest;
+        self
+    }
+
+    /// Approximate memory footprint of the tuple payload in bytes,
+    /// counting attribute references and values. Used for the store memory
+    /// accounting behind Fig. 7c.
+    pub fn approx_size_bytes(&self) -> usize {
+        let header = 32;
+        let per_entry = std::mem::size_of::<(AttrRef, Value)>();
+        header
+            + self
+                .values
+                .iter()
+                .map(|(_, v)| per_entry + v.approx_size_bytes())
+                .sum::<usize>()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨τ={} ", self.ts)?;
+        for (i, (a, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}={v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// Builder for base tuples that resolves attribute names through a
+/// [`Schema`], so call sites can write `builder.set("custkey", 42)`.
+#[derive(Debug)]
+pub struct TupleBuilder<'a> {
+    schema: &'a Schema,
+    ts: Timestamp,
+    values: Vec<(AttrRef, Value)>,
+}
+
+impl<'a> TupleBuilder<'a> {
+    /// Starts building a tuple of the given relation with timestamp `ts`.
+    pub fn new(schema: &'a Schema, ts: Timestamp) -> Self {
+        TupleBuilder {
+            schema,
+            ts,
+            values: Vec::with_capacity(schema.arity()),
+        }
+    }
+
+    /// Sets an attribute by name. Unknown names are ignored with a debug
+    /// assertion, so typos surface in tests without poisoning release runs.
+    pub fn set(mut self, attr: &str, value: impl Into<Value>) -> Self {
+        match self.schema.attr_ref(attr) {
+            Some(r) => self.values.push((r, value.into())),
+            None => debug_assert!(false, "unknown attribute {attr} on {}", self.schema.name),
+        }
+        self
+    }
+
+    /// Finishes the tuple.
+    pub fn build(self) -> Tuple {
+        Tuple::base(self.schema.relation, self.ts, self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::AttrId;
+
+    fn schema_r() -> Schema {
+        Schema::new(RelationId::new(0), "R", ["a", "x"])
+    }
+
+    fn schema_s() -> Schema {
+        Schema::new(RelationId::new(1), "S", ["a", "b"])
+    }
+
+    fn r_tuple(a: i64, ts: u64) -> Tuple {
+        TupleBuilder::new(&schema_r(), Timestamp::from_millis(ts))
+            .set("a", a)
+            .set("x", "payload")
+            .build()
+    }
+
+    fn s_tuple(a: i64, b: i64, ts: u64) -> Tuple {
+        TupleBuilder::new(&schema_s(), Timestamp::from_millis(ts))
+            .set("a", a)
+            .set("b", b)
+            .build()
+    }
+
+    #[test]
+    fn builder_resolves_names() {
+        let t = r_tuple(7, 100);
+        let a_ref = schema_r().attr_ref("a").unwrap();
+        assert_eq!(t.get(&a_ref), Some(&Value::Int(7)));
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.relations, RelationSet::singleton(RelationId::new(0)));
+        assert!(!t.is_intermediate());
+    }
+
+    #[test]
+    fn get_unknown_attribute_returns_none() {
+        let t = r_tuple(7, 100);
+        let foreign = AttrRef::new(RelationId::new(5), AttrId::new(0));
+        assert_eq!(t.get(&foreign), None);
+    }
+
+    #[test]
+    fn join_concatenates_and_takes_max_timestamp() {
+        let r = r_tuple(1, 100);
+        let s = s_tuple(1, 9, 250);
+        let rs = r.join(&s).expect("disjoint relations join");
+        assert_eq!(rs.ts, Timestamp::from_millis(250));
+        assert_eq!(rs.arity(), 4);
+        assert!(rs.is_intermediate());
+        assert!(rs.relations.contains(RelationId::new(0)));
+        assert!(rs.relations.contains(RelationId::new(1)));
+        let b_ref = schema_s().attr_ref("b").unwrap();
+        assert_eq!(rs.get(&b_ref), Some(&Value::Int(9)));
+        // Join is symmetric in the covered relations.
+        let sr = s.join(&r).unwrap();
+        assert_eq!(sr.relations, rs.relations);
+        assert_eq!(sr.ts, rs.ts);
+    }
+
+    #[test]
+    fn join_rejects_overlapping_relation_sets() {
+        let r1 = r_tuple(1, 100);
+        let r2 = r_tuple(2, 200);
+        assert!(r1.join(&r2).is_none());
+        let s = s_tuple(1, 2, 50);
+        let rs = r1.join(&s).unwrap();
+        assert!(rs.join(&r2).is_none(), "partial result already covers R");
+    }
+
+    #[test]
+    fn ingest_timestamp_propagates_through_joins() {
+        let r = r_tuple(1, 100).with_ingest_ts(Timestamp::from_millis(1_000));
+        let s = s_tuple(1, 2, 250).with_ingest_ts(Timestamp::from_millis(900));
+        let rs = r.join(&s).unwrap();
+        assert_eq!(rs.ingest_ts, Timestamp::from_millis(1_000));
+    }
+
+    #[test]
+    fn size_accounting_grows_with_payload() {
+        let small = r_tuple(1, 0);
+        let joined = small.join(&s_tuple(1, 2, 0)).unwrap();
+        assert!(joined.approx_size_bytes() > small.approx_size_bytes());
+    }
+
+    #[test]
+    fn clone_shares_payload() {
+        let t = r_tuple(1, 0);
+        let c = t.clone();
+        assert_eq!(t, c);
+        // Arc payload: cloning does not deep copy (pointer equality).
+        assert!(Arc::ptr_eq(&t.values, &c.values));
+    }
+
+    #[test]
+    fn display_contains_values() {
+        let t = r_tuple(3, 5);
+        let s = t.to_string();
+        assert!(s.contains("=3"));
+        assert!(s.contains("τ=5ms"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # clash-core
+//!
+//! The CLASH facade: register streamed relations and continuous multi-way
+//! join queries, optimize them jointly, deploy the resulting topology and
+//! keep adapting it as data characteristics or the query set change.
+//!
+//! This is the crate a downstream user interacts with; it wires together
+//! the catalog, the multi-query optimizer, the execution runtime and the
+//! adaptive controller:
+//!
+//! ```
+//! use clash_core::{ClashSystem, SystemConfig};
+//! use clash_common::Window;
+//! use clash_optimizer::Strategy;
+//!
+//! let mut clash = ClashSystem::new(SystemConfig::default());
+//! clash.register_relation("R", ["a"], Window::secs(60), 1).unwrap();
+//! clash.register_relation("S", ["a", "b"], Window::secs(60), 1).unwrap();
+//! clash.register_relation("T", ["b"], Window::secs(60), 1).unwrap();
+//! clash.register_query("q1", "R(a), S(a,b), T(b)").unwrap();
+//! clash.deploy(Strategy::GlobalIlp).unwrap();
+//!
+//! let r = clash.tuple("R", 10, &[("a", 1.into())]).unwrap();
+//! let s = clash.tuple("S", 20, &[("a", 1.into()), ("b", 7.into())]).unwrap();
+//! let t = clash.tuple("T", 30, &[("b", 7.into())]).unwrap();
+//! clash.ingest("R", r).unwrap();
+//! clash.ingest("S", s).unwrap();
+//! assert_eq!(clash.ingest("T", t).unwrap(), 1); // the R⋈S⋈T result
+//! ```
+
+pub mod system;
+
+pub use system::{ClashSystem, SystemConfig};
+
+pub use clash_catalog::{Catalog, Statistics};
+pub use clash_common as common;
+pub use clash_optimizer::{OptimizationReport, Strategy, TopologyPlan};
+pub use clash_query::JoinQuery;
+pub use clash_runtime::{LocalEngine, MetricsSnapshot};

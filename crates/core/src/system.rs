@@ -1,0 +1,388 @@
+//! The [`ClashSystem`] facade.
+
+use clash_catalog::{Catalog, Statistics};
+use clash_common::{
+    ClashError, Epoch, QueryId, RelationId, Result, Timestamp, Tuple, TupleBuilder, Value, Window,
+};
+use clash_optimizer::{OptimizationReport, Planner, PlannerConfig, Strategy};
+use clash_query::{parse_query, JoinQuery, QueryBuilder};
+use clash_runtime::{AdaptiveConfig, AdaptiveController, EngineConfig, LocalEngine, MetricsSnapshot};
+
+/// System-wide configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemConfig {
+    /// Engine configuration (epoch length, expiry cadence, result
+    /// collection).
+    pub engine: EngineConfig,
+    /// Planner configuration (plan-space limits, solver limits).
+    pub planner: PlannerConfig,
+    /// Keep emitted results in memory so callers can inspect them.
+    pub collect_results: bool,
+}
+
+/// The CLASH system: catalog + statistics + optimizer + runtime + adaptive
+/// controller behind one API.
+pub struct ClashSystem {
+    config: SystemConfig,
+    catalog: Catalog,
+    stats: Statistics,
+    queries: Vec<JoinQuery>,
+    next_query_id: u32,
+    engine: Option<LocalEngine>,
+    controller: Option<AdaptiveController>,
+    strategy: Strategy,
+    last_report: Option<OptimizationReport>,
+    last_epoch_seen: Epoch,
+}
+
+impl std::fmt::Debug for ClashSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClashSystem")
+            .field("relations", &self.catalog.len())
+            .field("queries", &self.queries.len())
+            .field("deployed", &self.engine.is_some())
+            .finish()
+    }
+}
+
+impl ClashSystem {
+    /// Creates an empty system.
+    pub fn new(config: SystemConfig) -> Self {
+        ClashSystem {
+            config,
+            catalog: Catalog::new(),
+            stats: Statistics::new(),
+            queries: Vec::new(),
+            next_query_id: 0,
+            engine: None,
+            controller: None,
+            strategy: Strategy::GlobalIlp,
+            last_report: None,
+            last_epoch_seen: Epoch::ZERO,
+        }
+    }
+
+    /// Registers a streamed input relation.
+    pub fn register_relation(
+        &mut self,
+        name: &str,
+        attributes: impl IntoIterator<Item = impl Into<String>>,
+        window: Window,
+        parallelism: usize,
+    ) -> Result<RelationId> {
+        self.catalog.register(name, attributes, window, parallelism)
+    }
+
+    /// Sets the assumed arrival rate of a relation (prior statistics used
+    /// until sampled statistics are available).
+    pub fn set_rate(&mut self, relation: &str, rate: f64) -> Result<()> {
+        let id = self
+            .catalog
+            .relation_id(relation)
+            .ok_or_else(|| ClashError::unknown(format!("relation '{relation}'")))?;
+        self.stats.set_rate(id, rate);
+        Ok(())
+    }
+
+    /// Sets the assumed selectivity of an equi-join predicate.
+    pub fn set_selectivity(
+        &mut self,
+        left: (&str, &str),
+        right: (&str, &str),
+        selectivity: f64,
+    ) -> Result<()> {
+        let l = self.catalog.attr(left.0, left.1)?;
+        let r = self.catalog.attr(right.0, right.1)?;
+        self.stats.set_selectivity(l, r, selectivity);
+        Ok(())
+    }
+
+    /// Replaces the whole statistics prior.
+    pub fn set_statistics(&mut self, stats: Statistics) {
+        self.stats = stats;
+    }
+
+    /// Registers a continuous query in the paper's notation
+    /// (`"R(a), S(a,b), T(b)"`). Returns its id.
+    pub fn register_query(&mut self, name: &str, definition: &str) -> Result<QueryId> {
+        let id = QueryId::new(self.next_query_id);
+        let q = parse_query(&self.catalog, id, name, definition)?;
+        self.next_query_id += 1;
+        self.queries.push(q.clone());
+        if let Some(controller) = &mut self.controller {
+            controller.add_query(q);
+        }
+        Ok(id)
+    }
+
+    /// Registers a query built programmatically (for schemas whose joined
+    /// columns have different names, e.g. TPC-H).
+    pub fn register_query_with<F>(&mut self, name: &str, build: F) -> Result<QueryId>
+    where
+        F: FnOnce(QueryBuilder<'_>) -> Result<QueryBuilder<'_>>,
+    {
+        let id = QueryId::new(self.next_query_id);
+        let builder = QueryBuilder::new(id, name, &self.catalog);
+        let q = build(builder)?.build()?;
+        self.next_query_id += 1;
+        self.queries.push(q.clone());
+        if let Some(controller) = &mut self.controller {
+            controller.add_query(q);
+        }
+        Ok(id)
+    }
+
+    /// Registers an already-constructed query (e.g. from `clash-datagen`).
+    pub fn register_prepared_query(&mut self, query: JoinQuery) -> Result<QueryId> {
+        let id = query.id;
+        self.next_query_id = self.next_query_id.max(id.0 + 1);
+        self.queries.retain(|q| q.id != id);
+        self.queries.push(query.clone());
+        if let Some(controller) = &mut self.controller {
+            controller.add_query(query);
+        }
+        Ok(id)
+    }
+
+    /// Removes a continuous query. Stores only it used are dropped at the
+    /// next re-optimization (reference counting, Section VI-B).
+    pub fn remove_query(&mut self, id: QueryId) {
+        self.queries.retain(|q| q.id != id);
+        if let Some(controller) = &mut self.controller {
+            controller.remove_query(id);
+        }
+    }
+
+    /// The registered queries.
+    pub fn queries(&self) -> &[JoinQuery] {
+        &self.queries
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Optimizes the current workload without deploying it (explain mode).
+    pub fn explain(&self, strategy: Strategy) -> Result<OptimizationReport> {
+        let planner = Planner::new(&self.catalog, &self.stats, self.config.planner);
+        planner.plan(&self.queries, strategy)
+    }
+
+    /// Optimizes and deploys the current workload with the given strategy.
+    pub fn deploy(&mut self, strategy: Strategy) -> Result<&OptimizationReport> {
+        if self.queries.is_empty() {
+            return Err(ClashError::Optimization("no queries registered".into()));
+        }
+        self.strategy = strategy;
+        let adaptive_config = AdaptiveConfig {
+            strategy,
+            planner: self.config.planner,
+            enabled: true,
+        };
+        let (controller, plan) = AdaptiveController::new(
+            self.catalog.clone(),
+            self.queries.clone(),
+            self.stats.clone(),
+            adaptive_config,
+        )?;
+        let planner = Planner::new(&self.catalog, &self.stats, self.config.planner);
+        let report = planner.plan(&self.queries, strategy)?;
+        let mut engine_config = self.config.engine;
+        engine_config.collect_results = self.config.collect_results;
+        self.engine = Some(LocalEngine::new(self.catalog.clone(), plan, engine_config));
+        self.controller = Some(controller);
+        self.last_report = Some(report);
+        Ok(self.last_report.as_ref().expect("just set"))
+    }
+
+    /// The report of the last deployment / explain.
+    pub fn last_report(&self) -> Option<&OptimizationReport> {
+        self.last_report.as_ref()
+    }
+
+    /// Builds a tuple for a registered relation from attribute/value pairs.
+    pub fn tuple(&self, relation: &str, ts_millis: u64, values: &[(&str, Value)]) -> Result<Tuple> {
+        let meta = self.catalog.relation_by_name(relation)?;
+        let mut b = TupleBuilder::new(&meta.schema, Timestamp::from_millis(ts_millis));
+        for (attr, v) in values {
+            b = b.set(attr, v.clone());
+        }
+        Ok(b.build())
+    }
+
+    /// Ingests a tuple into the deployed topology. Returns the number of
+    /// join results this tuple completed. Advancing stream time across an
+    /// epoch boundary triggers the adaptive controller.
+    pub fn ingest(&mut self, relation: &str, tuple: Tuple) -> Result<u64> {
+        let relation_id = self
+            .catalog
+            .relation_id(relation)
+            .ok_or_else(|| ClashError::unknown(format!("relation '{relation}'")))?;
+        self.ingest_by_id(relation_id, tuple)
+    }
+
+    /// Ingests a tuple by relation id (hot path for generators).
+    pub fn ingest_by_id(&mut self, relation: RelationId, tuple: Tuple) -> Result<u64> {
+        let engine = self
+            .engine
+            .as_mut()
+            .ok_or_else(|| ClashError::Runtime("system not deployed".into()))?;
+        let epoch = engine.epoch_config().epoch_of(tuple.ts);
+        let produced = engine.ingest(relation, tuple)?;
+        if epoch > self.last_epoch_seen {
+            self.last_epoch_seen = epoch;
+            if let Some(controller) = &mut self.controller {
+                controller.on_epoch(engine, epoch)?;
+            }
+        }
+        Ok(produced)
+    }
+
+    /// Metrics snapshot of the deployed engine.
+    pub fn snapshot(&self) -> Result<MetricsSnapshot> {
+        self.engine
+            .as_ref()
+            .map(|e| e.snapshot())
+            .ok_or_else(|| ClashError::Runtime("system not deployed".into()))
+    }
+
+    /// Collected results (requires `collect_results` in the config).
+    pub fn results(&self) -> &[(QueryId, Tuple)] {
+        self.engine.as_ref().map(|e| e.results()).unwrap_or(&[])
+    }
+
+    /// Number of reconfigurations the adaptive controller has installed.
+    pub fn reconfigurations(&self) -> usize {
+        self.controller.as_ref().map(|c| c.reconfigurations).unwrap_or(0)
+    }
+
+    /// Direct access to the engine (experiment drivers).
+    pub fn engine_mut(&mut self) -> Option<&mut LocalEngine> {
+        self.engine.as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system_with_rst() -> ClashSystem {
+        let mut clash = ClashSystem::new(SystemConfig {
+            collect_results: true,
+            ..SystemConfig::default()
+        });
+        clash.register_relation("R", ["a"], Window::secs(3600), 1).unwrap();
+        clash
+            .register_relation("S", ["a", "b"], Window::secs(3600), 1)
+            .unwrap();
+        clash.register_relation("T", ["b"], Window::secs(3600), 1).unwrap();
+        clash.set_rate("R", 100.0).unwrap();
+        clash.set_rate("S", 100.0).unwrap();
+        clash.set_rate("T", 100.0).unwrap();
+        clash
+            .set_selectivity(("R", "a"), ("S", "a"), 0.01)
+            .unwrap();
+        clash
+            .set_selectivity(("S", "b"), ("T", "b"), 0.01)
+            .unwrap();
+        clash.register_query("q1", "R(a), S(a,b), T(b)").unwrap();
+        clash
+    }
+
+    #[test]
+    fn end_to_end_single_query() {
+        let mut clash = system_with_rst();
+        clash.deploy(Strategy::GlobalIlp).unwrap();
+        let r = clash.tuple("R", 10, &[("a", 1.into())]).unwrap();
+        let s = clash
+            .tuple("S", 20, &[("a", 1.into()), ("b", 7.into())])
+            .unwrap();
+        let t = clash.tuple("T", 30, &[("b", 7.into())]).unwrap();
+        assert_eq!(clash.ingest("R", r).unwrap(), 0);
+        assert_eq!(clash.ingest("S", s).unwrap(), 0);
+        assert_eq!(clash.ingest("T", t).unwrap(), 1);
+        let snap = clash.snapshot().unwrap();
+        assert_eq!(snap.total_results(), 1);
+        assert_eq!(clash.results().len(), 1);
+        assert!(clash.last_report().is_some());
+    }
+
+    #[test]
+    fn ingest_before_deploy_fails() {
+        let mut clash = system_with_rst();
+        let r = clash.tuple("R", 10, &[("a", 1.into())]).unwrap();
+        assert!(clash.ingest("R", r).is_err());
+        assert!(clash.snapshot().is_err());
+    }
+
+    #[test]
+    fn deploy_without_queries_fails() {
+        let mut clash = ClashSystem::new(SystemConfig::default());
+        clash.register_relation("R", ["a"], Window::secs(1), 1).unwrap();
+        assert!(clash.deploy(Strategy::Shared).is_err());
+    }
+
+    #[test]
+    fn explain_reports_costs_without_deploying() {
+        let clash = system_with_rst();
+        let report = clash.explain(Strategy::GlobalIlp).unwrap();
+        assert!(report.shared_cost > 0.0);
+        assert!(report.model_stats.is_some());
+    }
+
+    #[test]
+    fn query_registration_and_removal() {
+        let mut clash = system_with_rst();
+        let q2 = clash.register_query("q2", "S(b), T(b)").unwrap();
+        assert_eq!(clash.queries().len(), 2);
+        clash.deploy(Strategy::Shared).unwrap();
+        clash.remove_query(q2);
+        assert_eq!(clash.queries().len(), 1);
+        // Unknown attribute is rejected.
+        assert!(clash.register_query("bad", "R(zzz), S(zzz)").is_err());
+    }
+
+    #[test]
+    fn builder_registration_for_differently_named_columns() {
+        let mut clash = ClashSystem::new(SystemConfig::default());
+        clash
+            .register_relation("orders", ["orderkey", "custkey"], Window::secs(60), 1)
+            .unwrap();
+        clash
+            .register_relation("lineitem", ["orderkey", "partkey"], Window::secs(60), 1)
+            .unwrap();
+        let id = clash
+            .register_query_with("q", |b| {
+                b.join("orders", "orderkey", "lineitem", "orderkey")
+            })
+            .unwrap();
+        assert_eq!(clash.queries()[0].id, id);
+        clash.deploy(Strategy::GlobalIlp).unwrap();
+        assert!(clash.snapshot().unwrap().total_results() == 0);
+    }
+
+    #[test]
+    fn epoch_advancement_drives_adaptive_controller() {
+        let mut clash = system_with_rst();
+        clash.deploy(Strategy::GlobalIlp).unwrap();
+        // Stream several seconds of data so multiple epoch boundaries pass.
+        for i in 0..5_000u64 {
+            let ts = i * 2;
+            let r = clash.tuple("R", ts, &[("a", ((i % 50) as i64).into())]).unwrap();
+            clash.ingest("R", r).unwrap();
+            let s = clash
+                .tuple(
+                    "S",
+                    ts + 1,
+                    &[("a", ((i % 50) as i64).into()), ("b", ((i % 20) as i64).into())],
+                )
+                .unwrap();
+            clash.ingest("S", s).unwrap();
+        }
+        // The controller ran (whether it re-planned depends on how much the
+        // sampled statistics deviate from the prior, but the pipeline must
+        // not error and results must be produced).
+        assert!(clash.snapshot().unwrap().tuples_ingested == 10_000);
+    }
+}

@@ -1,0 +1,137 @@
+//! Brute-force enumeration for tiny models.
+//!
+//! Used by the test-suite (including the randomized property tests) to
+//! certify that the branch-and-bound solver returns optimal solutions.
+
+use crate::model::{Assignment, Model};
+
+/// Maximum number of variables accepted by [`enumerate_optimal`]: 2^22
+/// assignments is the largest space that still enumerates in well under a
+/// second in release mode and a few seconds in debug mode.
+pub const MAX_ENUMERATION_VARS: usize = 22;
+
+/// Finds the optimal assignment of a small model by enumerating every 0/1
+/// assignment. Returns `None` when the model is infeasible.
+///
+/// # Panics
+/// Panics when the model has more than [`MAX_ENUMERATION_VARS`] variables.
+pub fn enumerate_optimal(model: &Model) -> Option<(Assignment, f64)> {
+    let n = model.num_vars();
+    assert!(
+        n <= MAX_ENUMERATION_VARS,
+        "enumerate_optimal is limited to {MAX_ENUMERATION_VARS} variables, got {n}"
+    );
+    let mut best: Option<(Assignment, f64)> = None;
+    for mask in 0u64..(1u64 << n) {
+        let assignment = Assignment::from_values(
+            (0..n).map(|i| (mask >> i) & 1 == 1).collect(),
+        );
+        if !model.is_feasible(&assignment, 1e-9) {
+            continue;
+        }
+        let objective = model.objective_value(&assignment);
+        if best
+            .as_ref()
+            .map(|(_, b)| objective < *b - 1e-12)
+            .unwrap_or(true)
+        {
+            best = Some((assignment, objective));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinExpr, Sense, VarId};
+    use crate::solver::{solve, SolveStatus, SolverConfig};
+
+    #[test]
+    fn enumeration_matches_hand_computed_optimum() {
+        let mut m = Model::new();
+        let a = m.add_binary("a", 2.0);
+        let b = m.add_binary("b", 3.0);
+        let c = m.add_binary("c", 1.0);
+        m.add_choose_one("ab", [a, b]);
+        m.add_implies_any("a_implies_c", a, [c]);
+        let (assignment, objective) = enumerate_optimal(&m).unwrap();
+        // a+c = 3 equals b = 3; enumeration prefers the first found, but the
+        // value must be 3 either way.
+        assert!((objective - 3.0).abs() < 1e-12);
+        assert!(m.is_feasible(&assignment, 1e-9));
+    }
+
+    #[test]
+    fn infeasible_model_returns_none() {
+        let mut m = Model::new();
+        let a = m.add_binary("a", 1.0);
+        m.add_constraint("impossible", LinExpr::sum([a]), Sense::Ge, 2.0);
+        assert!(enumerate_optimal(&m).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to")]
+    fn oversized_model_panics() {
+        let mut m = Model::new();
+        for i in 0..(MAX_ENUMERATION_VARS + 1) {
+            m.add_binary(format!("x{i}"), 1.0);
+        }
+        let _ = enumerate_optimal(&m);
+    }
+
+    /// Randomized cross-check: branch-and-bound equals brute force on random
+    /// selection-with-sharing models.
+    #[test]
+    fn branch_and_bound_matches_enumeration_on_random_models() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xC1A5);
+        for trial in 0..30 {
+            let mut m = Model::new();
+            let n_steps = rng.gen_range(2..5);
+            let steps: Vec<VarId> = (0..n_steps)
+                .map(|i| m.add_binary(format!("y{i}"), rng.gen_range(1..20) as f64))
+                .collect();
+            let n_groups = rng.gen_range(1..4);
+            for g in 0..n_groups {
+                let n_alts = rng.gen_range(1..4);
+                let mut alts = Vec::new();
+                for a in 0..n_alts {
+                    let x = m.add_binary(format!("x{g}_{a}"), 0.0);
+                    // Each alternative requires a random non-empty subset of steps.
+                    let mut expr = LinExpr::new();
+                    let mut total = 0.0;
+                    for &s in &steps {
+                        if rng.gen_bool(0.5) {
+                            let c = m.objective_coeff(s);
+                            expr.add(s, c);
+                            total += c;
+                        }
+                    }
+                    if total == 0.0 {
+                        expr.add(steps[0], m.objective_coeff(steps[0]));
+                        total = m.objective_coeff(steps[0]);
+                    }
+                    expr.add(x, -total);
+                    m.add_constraint(format!("cost{g}_{a}"), expr, Sense::Ge, 0.0);
+                    alts.push(x);
+                }
+                m.add_choose_one(format!("choice{g}"), alts);
+            }
+            let brute = enumerate_optimal(&m);
+            let solved = solve(&m, SolverConfig::default());
+            match brute {
+                Some((_, expected)) => {
+                    assert_eq!(solved.status, SolveStatus::Optimal, "trial {trial}");
+                    assert!(
+                        (solved.objective - expected).abs() < 1e-6,
+                        "trial {trial}: bb {} vs brute {expected}",
+                        solved.objective
+                    );
+                }
+                None => assert_eq!(solved.status, SolveStatus::Infeasible, "trial {trial}"),
+            }
+        }
+    }
+}

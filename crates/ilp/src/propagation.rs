@@ -1,0 +1,329 @@
+//! Constraint propagation over binary domains.
+//!
+//! The solver never relaxes integrality: it reasons directly over the
+//! three-valued domains {0, 1, free} of the binary variables. For every
+//! constraint the propagator computes the smallest and largest achievable
+//! left-hand side under the current domains; values that would make the
+//! constraint unsatisfiable are pruned, which fixes variables. The models
+//! produced by Algorithm 2 propagate very strongly: choosing a probe order
+//! variable immediately fixes all of its step variables through the cost
+//! constraints.
+
+use crate::model::{Model, Sense, VarId};
+
+/// Three-valued domains of all variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Domains {
+    values: Vec<Option<bool>>,
+}
+
+impl Domains {
+    /// All-free domains for `n` variables.
+    pub fn free(n: usize) -> Self {
+        Domains {
+            values: vec![None; n],
+        }
+    }
+
+    /// Current domain of a variable.
+    pub fn get(&self, var: VarId) -> Option<bool> {
+        self.values[var.index()]
+    }
+
+    /// `true` when the variable is not yet fixed.
+    pub fn is_free(&self, var: VarId) -> bool {
+        self.values[var.index()].is_none()
+    }
+
+    /// Fixes a variable. Returns `false` when the variable was already
+    /// fixed to the opposite value (conflict).
+    pub fn fix(&mut self, var: VarId, value: bool) -> bool {
+        match self.values[var.index()] {
+            None => {
+                self.values[var.index()] = Some(value);
+                true
+            }
+            Some(v) => v == value,
+        }
+    }
+
+    /// Number of fixed variables.
+    pub fn fixed_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// `true` when every variable is fixed.
+    pub fn is_complete(&self) -> bool {
+        self.values.iter().all(|v| v.is_some())
+    }
+
+    /// Index of the first free variable, if any.
+    pub fn first_free(&self) -> Option<VarId> {
+        self.values
+            .iter()
+            .position(|v| v.is_none())
+            .map(|i| VarId(i as u32))
+    }
+
+    /// Converts to a full assignment, mapping free variables to 0 (the
+    /// cheapest completion for non-negative objectives).
+    pub fn to_assignment(&self) -> crate::model::Assignment {
+        crate::model::Assignment::from_values(
+            self.values.iter().map(|v| v.unwrap_or(false)).collect(),
+        )
+    }
+
+    /// Ids of variables currently fixed to 1.
+    pub fn ones(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v == Some(true))
+            .map(|(i, _)| VarId(i as u32))
+    }
+}
+
+/// Result of a propagation run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropagationResult {
+    /// A fixpoint was reached without conflicts; the payload is the number
+    /// of variables fixed during this run.
+    Fixpoint(usize),
+    /// Some constraint cannot be satisfied anymore. The payload is the
+    /// index of the conflicting constraint.
+    Conflict(usize),
+}
+
+/// Propagator: precomputes the variable → constraint adjacency of a model.
+#[derive(Debug)]
+pub struct Propagator<'a> {
+    model: &'a Model,
+    /// For each variable, the indices of the constraints it appears in.
+    var_constraints: Vec<Vec<usize>>,
+}
+
+impl<'a> Propagator<'a> {
+    /// Builds a propagator for a model.
+    pub fn new(model: &'a Model) -> Self {
+        let mut var_constraints = vec![Vec::new(); model.num_vars()];
+        for (ci, c) in model.constraints().iter().enumerate() {
+            for (v, _) in c.expr.terms() {
+                var_constraints[v.index()].push(ci);
+            }
+        }
+        Propagator {
+            model,
+            var_constraints,
+        }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &Model {
+        self.model
+    }
+
+    /// Propagates all constraints to a fixpoint.
+    pub fn propagate_all(&self, domains: &mut Domains) -> PropagationResult {
+        let all: Vec<usize> = (0..self.model.num_constraints()).collect();
+        self.propagate_queue(domains, all)
+    }
+
+    /// Propagates starting from the constraints involving `seed_var`
+    /// (typically a variable that was just fixed by a branching decision).
+    pub fn propagate_from(&self, domains: &mut Domains, seed_var: VarId) -> PropagationResult {
+        self.propagate_queue(domains, self.var_constraints[seed_var.index()].clone())
+    }
+
+    fn propagate_queue(&self, domains: &mut Domains, mut queue: Vec<usize>) -> PropagationResult {
+        const EPS: f64 = 1e-9;
+        let mut fixed_total = 0usize;
+        let mut in_queue = vec![false; self.model.num_constraints()];
+        for &ci in &queue {
+            in_queue[ci] = true;
+        }
+        while let Some(ci) = queue.pop() {
+            in_queue[ci] = false;
+            let c = &self.model.constraints()[ci];
+            // Bounds of the LHS under the current domains.
+            let mut min_lhs = 0.0;
+            let mut max_lhs = 0.0;
+            for (v, coeff) in c.expr.terms() {
+                match domains.get(*v) {
+                    Some(true) => {
+                        min_lhs += coeff;
+                        max_lhs += coeff;
+                    }
+                    Some(false) => {}
+                    None => {
+                        min_lhs += coeff.min(0.0);
+                        max_lhs += coeff.max(0.0);
+                    }
+                }
+            }
+            let need_ge = matches!(c.sense, Sense::Ge | Sense::Eq);
+            let need_le = matches!(c.sense, Sense::Le | Sense::Eq);
+            if need_ge && max_lhs < c.rhs - EPS {
+                return PropagationResult::Conflict(ci);
+            }
+            if need_le && min_lhs > c.rhs + EPS {
+                return PropagationResult::Conflict(ci);
+            }
+            // Try to fix free variables whose "wrong" value would violate
+            // the constraint.
+            let mut newly_fixed: Vec<VarId> = Vec::new();
+            for (v, coeff) in c.expr.terms() {
+                if !domains.is_free(*v) {
+                    continue;
+                }
+                let amp = coeff.abs();
+                if amp <= EPS {
+                    continue;
+                }
+                if need_ge && max_lhs - amp < c.rhs - EPS {
+                    // The variable must contribute its maximum.
+                    let value = *coeff > 0.0;
+                    if !domains.fix(*v, value) {
+                        return PropagationResult::Conflict(ci);
+                    }
+                    newly_fixed.push(*v);
+                } else if need_le && min_lhs + amp > c.rhs + EPS {
+                    // The variable must contribute its minimum.
+                    let value = *coeff < 0.0;
+                    if !domains.fix(*v, value) {
+                        return PropagationResult::Conflict(ci);
+                    }
+                    newly_fixed.push(*v);
+                }
+            }
+            fixed_total += newly_fixed.len();
+            for v in newly_fixed {
+                for &other in &self.var_constraints[v.index()] {
+                    if !in_queue[other] {
+                        in_queue[other] = true;
+                        queue.push(other);
+                    }
+                }
+                // Re-examine the current constraint as well: fixing one of
+                // its variables changes the bounds for the others.
+                if !in_queue[ci] {
+                    in_queue[ci] = true;
+                    queue.push(ci);
+                }
+            }
+        }
+        PropagationResult::Fixpoint(fixed_total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinExpr, Model};
+
+    #[test]
+    fn choose_one_with_single_candidate_is_forced() {
+        let mut m = Model::new();
+        let x = m.add_binary("x", 1.0);
+        m.add_choose_one("only", [x]);
+        let p = Propagator::new(&m);
+        let mut d = Domains::free(1);
+        assert_eq!(p.propagate_all(&mut d), PropagationResult::Fixpoint(1));
+        assert_eq!(d.get(x), Some(true));
+        assert!(d.is_complete());
+    }
+
+    #[test]
+    fn implication_propagates_when_antecedent_fixed() {
+        // -x + y >= 0, x fixed to 1 forces y = 1.
+        let mut m = Model::new();
+        let x = m.add_binary("x", 0.0);
+        let y = m.add_binary("y", 1.0);
+        m.add_implies_any("imp", x, [y]);
+        let p = Propagator::new(&m);
+        let mut d = Domains::free(2);
+        assert!(d.fix(x, true));
+        assert_eq!(p.propagate_from(&mut d, x), PropagationResult::Fixpoint(1));
+        assert_eq!(d.get(y), Some(true));
+    }
+
+    #[test]
+    fn cost_constraint_fixes_all_step_variables() {
+        // -10 x + 4 y1 + 6 y2 >= 0: x=1 requires both steps.
+        let mut m = Model::new();
+        let x = m.add_binary("x", 0.0);
+        let y1 = m.add_binary("y1", 4.0);
+        let y2 = m.add_binary("y2", 6.0);
+        let expr = LinExpr::from_terms([(x, -10.0), (y1, 4.0), (y2, 6.0)]);
+        m.add_constraint("cost", expr, Sense::Ge, 0.0);
+        let p = Propagator::new(&m);
+        let mut d = Domains::free(3);
+        d.fix(x, true);
+        assert_eq!(p.propagate_from(&mut d, x), PropagationResult::Fixpoint(2));
+        assert_eq!(d.get(y1), Some(true));
+        assert_eq!(d.get(y2), Some(true));
+    }
+
+    #[test]
+    fn choose_one_excludes_remaining_after_selection() {
+        let mut m = Model::new();
+        let a = m.add_binary("a", 0.0);
+        let b = m.add_binary("b", 0.0);
+        let c = m.add_binary("c", 0.0);
+        m.add_choose_one("choice", [a, b, c]);
+        let p = Propagator::new(&m);
+        let mut d = Domains::free(3);
+        d.fix(a, true);
+        assert!(matches!(p.propagate_from(&mut d, a), PropagationResult::Fixpoint(2)));
+        assert_eq!(d.get(b), Some(false));
+        assert_eq!(d.get(c), Some(false));
+    }
+
+    #[test]
+    fn conflict_detected_when_constraint_unsatisfiable() {
+        let mut m = Model::new();
+        let a = m.add_binary("a", 0.0);
+        let b = m.add_binary("b", 0.0);
+        m.add_choose_one("choice", [a, b]);
+        let p = Propagator::new(&m);
+        let mut d = Domains::free(2);
+        d.fix(a, false);
+        d.fix(b, false);
+        assert!(matches!(p.propagate_all(&mut d), PropagationResult::Conflict(_)));
+    }
+
+    #[test]
+    fn fix_conflicting_value_reports_false() {
+        let mut d = Domains::free(2);
+        assert!(d.fix(VarId(0), true));
+        assert!(d.fix(VarId(0), true), "re-fixing to the same value is fine");
+        assert!(!d.fix(VarId(0), false));
+        assert_eq!(d.fixed_count(), 1);
+        assert_eq!(d.first_free(), Some(VarId(1)));
+        let ones: Vec<VarId> = d.ones().collect();
+        assert_eq!(ones, vec![VarId(0)]);
+    }
+
+    #[test]
+    fn to_assignment_maps_free_to_zero() {
+        let mut d = Domains::free(3);
+        d.fix(VarId(1), true);
+        let asg = d.to_assignment();
+        assert!(!asg.get(VarId(0)));
+        assert!(asg.get(VarId(1)));
+        assert!(!asg.get(VarId(2)));
+    }
+
+    #[test]
+    fn le_constraints_prune_upwards() {
+        // x + y <= 1 with x = 1 forces y = 0.
+        let mut m = Model::new();
+        let x = m.add_binary("x", 0.0);
+        let y = m.add_binary("y", 0.0);
+        m.add_constraint("le", LinExpr::sum([x, y]), Sense::Le, 1.0);
+        let p = Propagator::new(&m);
+        let mut d = Domains::free(2);
+        d.fix(x, true);
+        assert!(matches!(p.propagate_from(&mut d, x), PropagationResult::Fixpoint(1)));
+        assert_eq!(d.get(y), Some(false));
+    }
+}

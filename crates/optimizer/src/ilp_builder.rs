@@ -1,0 +1,354 @@
+//! ILP construction (Algorithm 2) and solution extraction.
+//!
+//! Variables:
+//!
+//! * one binary `x_σ` per decorated probe order candidate of every
+//!   `(query, starting relation)` pair,
+//! * one binary `x'` per sub-query probe order maintaining an intermediate
+//!   result store,
+//! * one binary `y_ρ` per distinct *step* ([`StepKey`]), carrying the step
+//!   cost as its objective coefficient. Steps shared between candidates of
+//!   different queries reuse the same variable — that is where
+//!   multi-query sharing enters the objective.
+//!
+//! Constraints (cf. the example in Fig. 3 of the paper):
+//!
+//! * `Σ_σ x_σ = 1` for every `(query, start)` group (Equation 2),
+//! * `-PCost(σ)·x_σ + Σ_j StepCost(ρ_j)·y_{ρ_j} ≥ 0` for every candidate
+//!   (Equation 3): selecting a candidate forces all of its steps,
+//! * `-x_σ + x'_{M,j} ≥ 0` for every intermediate store `M` probed by `σ`
+//!   and every input relation `j` of `M`: the store must be maintained by
+//!   a probe order from every one of its inputs,
+//! * the same cost constraints for the sub-query probe orders `x'`.
+
+use crate::candidate::{CandidateSet, DecoratedProbeOrder, StepKey, SubqueryKey};
+use clash_common::{ClashError, QueryId, RelationId, Result};
+use clash_ilp::{Assignment, LinExpr, Model, ModelStats, Sense, VarId};
+use std::collections::HashMap;
+
+/// The constructed model together with the bookkeeping needed to interpret
+/// its solution.
+#[derive(Debug, Clone)]
+pub struct IlpArtifacts {
+    /// The 0/1 ILP.
+    pub model: Model,
+    /// Candidate variable per (query, start, candidate index).
+    pub candidate_vars: HashMap<(QueryId, RelationId, usize), VarId>,
+    /// Sub-query maintenance variable per intermediate store input.
+    pub subquery_vars: HashMap<SubqueryKey, VarId>,
+    /// Step variable and step cost per step key.
+    pub step_vars: HashMap<StepKey, (VarId, f64)>,
+    /// Model size statistics (Fig. 9b / 9d).
+    pub stats: ModelStats,
+}
+
+/// The probe orders chosen by the optimizer.
+#[derive(Debug, Clone, Default)]
+pub struct Selection {
+    /// One decorated probe order per (query, starting relation).
+    pub query_orders: Vec<DecoratedProbeOrder>,
+    /// Maintenance probe orders for every intermediate store that the
+    /// chosen query orders probe.
+    pub subquery_orders: Vec<DecoratedProbeOrder>,
+    /// Total shared probe cost: every distinct step counted once (the MQO
+    /// objective of Fig. 9a / 9c).
+    pub shared_cost: f64,
+}
+
+impl Selection {
+    /// All chosen probe orders (query plus maintenance).
+    pub fn all_orders(&self) -> impl Iterator<Item = &DecoratedProbeOrder> {
+        self.query_orders.iter().chain(self.subquery_orders.iter())
+    }
+
+    /// Recomputes the shared cost from the step keys (each distinct step
+    /// counted once).
+    pub fn recompute_shared_cost(&mut self) {
+        let mut seen: HashMap<&StepKey, f64> = HashMap::new();
+        for order in self.query_orders.iter().chain(self.subquery_orders.iter()) {
+            for (key, cost) in order.step_keys.iter().zip(&order.step_costs) {
+                seen.entry(key).or_insert(*cost);
+            }
+        }
+        self.shared_cost = seen.values().sum();
+    }
+}
+
+fn step_var(model: &mut Model, step_vars: &mut HashMap<StepKey, (VarId, f64)>, key: &StepKey, cost: f64) -> VarId {
+    if let Some((v, _)) = step_vars.get(key) {
+        return *v;
+    }
+    let v = model.add_binary(format!("y[{}]", key.0), cost);
+    step_vars.insert(key.clone(), (v, cost));
+    v
+}
+
+/// Builds the multi-query optimization ILP from an enumerated plan space.
+pub fn build_ilp(candidates: &CandidateSet) -> IlpArtifacts {
+    let mut model = Model::new();
+    let mut candidate_vars = HashMap::new();
+    let mut subquery_vars: HashMap<SubqueryKey, VarId> = HashMap::new();
+    let mut step_vars: HashMap<StepKey, (VarId, f64)> = HashMap::new();
+
+    // Sub-query maintenance variables and their cost constraints.
+    for (key, order) in &candidates.subquery_orders {
+        let x = model.add_binary(
+            format!("x'[mir={} start=R{}]", key.0, key.1 .0),
+            0.0,
+        );
+        subquery_vars.insert(key.clone(), x);
+        let mut expr = LinExpr::new();
+        expr.add(x, -order.cost);
+        for (step_key, step_cost) in order.step_keys.iter().zip(&order.step_costs) {
+            let y = step_var(&mut model, &mut step_vars, step_key, *step_cost);
+            expr.add(y, *step_cost);
+        }
+        model.add_constraint(format!("cost[{}]", model.var_name(x)), expr, Sense::Ge, 0.0);
+    }
+
+    // Candidate variables, choice constraints, cost constraints and
+    // intermediate-store requirements.
+    let mut groups: Vec<(&(QueryId, RelationId), &Vec<DecoratedProbeOrder>)> =
+        candidates.per_start.iter().collect();
+    groups.sort_by_key(|((q, s), _)| (q.0, s.0));
+    for ((query, start), cands) in groups {
+        let mut group_vars = Vec::with_capacity(cands.len());
+        for (idx, cand) in cands.iter().enumerate() {
+            let x = model.add_binary(format!("x[{query} {start} #{idx}]"), 0.0);
+            candidate_vars.insert((*query, *start, idx), x);
+            group_vars.push(x);
+
+            // Cost constraint: selecting the candidate forces its steps.
+            let mut expr = LinExpr::new();
+            expr.add(x, -cand.cost);
+            for (step_key, step_cost) in cand.step_keys.iter().zip(&cand.step_costs) {
+                let y = step_var(&mut model, &mut step_vars, step_key, *step_cost);
+                expr.add(y, *step_cost);
+            }
+            model.add_constraint(
+                format!("cost[{query} {start} #{idx}]"),
+                expr,
+                Sense::Ge,
+                0.0,
+            );
+
+            // Intermediate stores probed by the candidate must be
+            // maintained from each of their inputs.
+            let q = candidates
+                .queries
+                .iter()
+                .find(|q| q.id == *query)
+                .expect("candidate references a workload query");
+            for store in cand.intermediate_stores() {
+                let fingerprint = {
+                    let mut preds: Vec<String> = q
+                        .predicates_within(&store.relations)
+                        .iter()
+                        .map(|p| {
+                            format!(
+                                "{}.{}={}.{}",
+                                p.left.relation.0, p.left.attr.0, p.right.relation.0, p.right.attr.0
+                            )
+                        })
+                        .collect();
+                    preds.sort();
+                    preds.join(",")
+                };
+                for input in store.relations.iter() {
+                    let key: SubqueryKey = (store.relations.bits(), input, fingerprint.clone());
+                    if let Some(x_sub) = subquery_vars.get(&key) {
+                        model.add_implies_any(
+                            format!("maintain[{query} {start} #{idx} mir={}]", store.relations),
+                            x,
+                            [*x_sub],
+                        );
+                    }
+                }
+            }
+        }
+        model.add_choose_one(format!("choose[{query} {start}]"), group_vars);
+    }
+
+    let stats = model.stats();
+    IlpArtifacts {
+        model,
+        candidate_vars,
+        subquery_vars,
+        step_vars,
+        stats,
+    }
+}
+
+/// Extracts the chosen probe orders from a feasible assignment.
+pub fn extract_selection(
+    candidates: &CandidateSet,
+    artifacts: &IlpArtifacts,
+    assignment: &Assignment,
+) -> Result<Selection> {
+    let mut selection = Selection::default();
+    for ((query, start), cands) in &candidates.per_start {
+        let mut chosen = None;
+        for (idx, cand) in cands.iter().enumerate() {
+            let var = artifacts.candidate_vars[&(*query, *start, idx)];
+            if assignment.get(var) {
+                chosen = Some(cand.clone());
+                break;
+            }
+        }
+        match chosen {
+            Some(c) => selection.query_orders.push(c),
+            None => {
+                return Err(ClashError::Optimization(format!(
+                    "no probe order selected for query {query} start {start}"
+                )))
+            }
+        }
+    }
+    for (key, var) in &artifacts.subquery_vars {
+        if assignment.get(*var) {
+            selection
+                .subquery_orders
+                .push(candidates.subquery_orders[key].clone());
+        }
+    }
+    // Deterministic order helps the topology builder and the tests.
+    selection
+        .query_orders
+        .sort_by_key(|o| (o.query.0, o.order.start.0));
+    selection
+        .subquery_orders
+        .sort_by_key(|o| (o.covered().bits(), o.order.start.0));
+    selection.recompute_shared_cost();
+    Ok(selection)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::{enumerate_candidates, PlanSpaceConfig};
+    use clash_catalog::{Catalog, Statistics};
+    use clash_common::Window;
+    use clash_ilp::{solve, SolveStatus, SolverConfig};
+    use clash_query::parse_query;
+
+    fn setup() -> (Catalog, Statistics, Vec<clash_query::JoinQuery>) {
+        let mut catalog = Catalog::new();
+        catalog.register("R", ["a"], Window::unbounded(), 1).unwrap();
+        catalog.register("S", ["a", "b"], Window::unbounded(), 1).unwrap();
+        catalog.register("T", ["b", "c"], Window::unbounded(), 1).unwrap();
+        catalog.register("U", ["c"], Window::unbounded(), 1).unwrap();
+        let mut stats = Statistics::new();
+        for m in catalog.iter().map(|m| m.id).collect::<Vec<_>>() {
+            stats.set_rate(m, 100.0);
+        }
+        // |S ⋈ T| = 150, all other joins 100 (the Section V-2 example).
+        stats.default_selectivity = 0.01;
+        stats.set_selectivity(
+            catalog.attr("S", "b").unwrap(),
+            catalog.attr("T", "b").unwrap(),
+            0.015,
+        );
+        let q1 = parse_query(&catalog, QueryId::new(0), "q1", "R(a), S(a,b), T(b)").unwrap();
+        let q2 = parse_query(&catalog, QueryId::new(1), "q2", "S(b), T(b,c), U(c)").unwrap();
+        (catalog, stats, vec![q1, q2])
+    }
+
+    fn base_only_config() -> PlanSpaceConfig {
+        PlanSpaceConfig {
+            materialize_intermediates: false,
+            ..PlanSpaceConfig::default()
+        }
+    }
+
+    #[test]
+    fn model_has_one_choice_constraint_per_query_start() {
+        let (catalog, stats, queries) = setup();
+        let cands = enumerate_candidates(&catalog, &stats, &queries, &base_only_config());
+        let artifacts = build_ilp(&cands);
+        let choice_count = artifacts
+            .model
+            .constraints()
+            .iter()
+            .filter(|c| c.name.starts_with("choose["))
+            .count();
+        assert_eq!(choice_count, 6, "two 3-relation queries = 6 (query, start) groups");
+        assert!(artifacts.stats.variables > 0);
+        assert_eq!(artifacts.stats.variables, artifacts.model.num_vars());
+    }
+
+    #[test]
+    fn solving_the_example_shares_the_st_step() {
+        let (catalog, stats, queries) = setup();
+        let cands = enumerate_candidates(&catalog, &stats, &queries, &base_only_config());
+        let artifacts = build_ilp(&cands);
+        let solution = solve(&artifacts.model, SolverConfig::default());
+        assert_eq!(solution.status, SolveStatus::Optimal);
+        let selection =
+            extract_selection(&cands, &artifacts, solution.assignment.as_ref().unwrap()).unwrap();
+        assert_eq!(selection.query_orders.len(), 6);
+        // Shared cost equals the ILP objective.
+        assert!((selection.shared_cost - solution.objective).abs() < 1e-6);
+        // Sharing must not be worse than fully individual optimization and
+        // for this workload is strictly better.
+        let individual: f64 = queries.iter().map(|q| cands.individual_cost(q.id)).sum();
+        assert!(selection.shared_cost < individual - 1e-6,
+            "shared {} vs individual {individual}", selection.shared_cost);
+    }
+
+    #[test]
+    fn selection_extraction_requires_a_choice_per_group() {
+        let (catalog, stats, queries) = setup();
+        let cands = enumerate_candidates(&catalog, &stats, &queries, &base_only_config());
+        let artifacts = build_ilp(&cands);
+        // An all-zero assignment selects nothing -> error.
+        let empty = Assignment::zeros(artifacts.model.num_vars());
+        assert!(extract_selection(&cands, &artifacts, &empty).is_err());
+    }
+
+    #[test]
+    fn intermediate_stores_force_maintenance_orders() {
+        let (catalog, stats, queries) = setup();
+        let config = PlanSpaceConfig::default();
+        let cands = enumerate_candidates(&catalog, &stats, &queries, &config);
+        let artifacts = build_ilp(&cands);
+        assert!(!artifacts.subquery_vars.is_empty());
+        let solution = solve(&artifacts.model, SolverConfig::default());
+        assert_eq!(solution.status, SolveStatus::Optimal);
+        let selection =
+            extract_selection(&cands, &artifacts, solution.assignment.as_ref().unwrap()).unwrap();
+        // If any chosen query order probes an intermediate store, then the
+        // matching maintenance orders must be part of the selection.
+        let probed_mirs: Vec<_> = selection
+            .query_orders
+            .iter()
+            .flat_map(|o| o.intermediate_stores().map(|s| s.relations))
+            .collect();
+        for mir in probed_mirs {
+            for input in mir.iter() {
+                assert!(
+                    selection
+                        .subquery_orders
+                        .iter()
+                        .any(|o| o.covered() == mir && o.order.start == input),
+                    "intermediate store {mir} lacks a maintenance order from {input}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn step_variables_are_shared_between_queries() {
+        let (catalog, stats, queries) = setup();
+        let cands = enumerate_candidates(&catalog, &stats, &queries, &base_only_config());
+        let artifacts = build_ilp(&cands);
+        // Fewer step variables than total steps across candidates proves
+        // sharing (every candidate has >= 1 step).
+        let total_steps: usize = cands
+            .per_start
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|c| c.step_keys.len())
+            .sum();
+        assert!(artifacts.step_vars.len() < total_steps);
+    }
+}

@@ -1,0 +1,315 @@
+//! Top-level planner with the three strategies compared in the paper's
+//! evaluation (Section VII-A).
+
+use crate::candidate::{enumerate_candidates, CandidateSet, PlanSpaceConfig};
+use crate::ilp_builder::{build_ilp, extract_selection, Selection};
+use crate::topology::{TopologyBuilder, TopologyPlan};
+use clash_catalog::{Catalog, Statistics};
+use clash_common::{ClashError, QueryId, RelationId, Result};
+use clash_ilp::{solve, ModelStats, SolveStatus, SolverConfig};
+use clash_query::JoinQuery;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Planning strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// One isolated plan per query, no sharing of stores or probe work
+    /// (the FI / SI baselines of Fig. 7).
+    Independent,
+    /// Per-query optimal plans with syntactically identical sub-plans and
+    /// stores shared (the FS / SS baselines of Fig. 7).
+    Shared,
+    /// Global multi-query optimization through the ILP of Section V
+    /// (CLASH-MQO).
+    GlobalIlp,
+}
+
+impl Strategy {
+    /// Short label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Independent => "Independent",
+            Strategy::Shared => "Shared",
+            Strategy::GlobalIlp => "CMQO",
+        }
+    }
+}
+
+/// Planner configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlannerConfig {
+    /// Plan-space enumeration limits and cost model.
+    pub plan_space: PlanSpaceConfig,
+    /// ILP solver limits.
+    pub solver: SolverConfig,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            plan_space: PlanSpaceConfig::default(),
+            solver: SolverConfig::default(),
+        }
+    }
+}
+
+/// Outcome of a planning run, including the measurements the experiments
+/// plot (probe costs, ILP problem sizes, optimization runtime).
+#[derive(Debug, Clone)]
+pub struct OptimizationReport {
+    /// Strategy used.
+    pub strategy: Strategy,
+    /// The deployable topology.
+    pub plan: TopologyPlan,
+    /// The chosen probe orders.
+    pub selection: Selection,
+    /// Probe cost with sharing (each distinct step once) — the "MQO" series.
+    pub shared_cost: f64,
+    /// Sum of per-query individually-optimal probe costs — the
+    /// "Individual" series.
+    pub individual_cost: f64,
+    /// Number of candidate probe orders enumerated (Fig. 9b / 9d).
+    pub num_probe_orders: usize,
+    /// ILP model size (only for [`Strategy::GlobalIlp`]).
+    pub model_stats: Option<ModelStats>,
+    /// ILP solve status (only for [`Strategy::GlobalIlp`]).
+    pub solve_status: Option<SolveStatus>,
+    /// Wall-clock time spent optimizing (enumeration + ILP).
+    pub optimization_time: Duration,
+}
+
+/// The planner: holds the inputs shared by all strategies.
+#[derive(Debug)]
+pub struct Planner<'a> {
+    catalog: &'a Catalog,
+    stats: &'a Statistics,
+    config: PlannerConfig,
+}
+
+impl<'a> Planner<'a> {
+    /// Creates a planner over a catalog and a statistics snapshot.
+    pub fn new(catalog: &'a Catalog, stats: &'a Statistics, config: PlannerConfig) -> Self {
+        Planner {
+            catalog,
+            stats,
+            config,
+        }
+    }
+
+    /// Creates a planner with default configuration.
+    pub fn with_defaults(catalog: &'a Catalog, stats: &'a Statistics) -> Self {
+        Planner::new(catalog, stats, PlannerConfig::default())
+    }
+
+    /// Plans a workload with the given strategy.
+    pub fn plan(&self, queries: &[JoinQuery], strategy: Strategy) -> Result<OptimizationReport> {
+        if queries.is_empty() {
+            return Err(ClashError::Optimization("empty workload".into()));
+        }
+        let started = std::time::Instant::now();
+        let candidates =
+            enumerate_candidates(self.catalog, self.stats, queries, &self.config.plan_space);
+        let individual_cost: f64 = queries.iter().map(|q| candidates.individual_cost(q.id)).sum();
+
+        let (selection, model_stats, solve_status) = match strategy {
+            Strategy::Independent | Strategy::Shared => {
+                (greedy_per_query_selection(&candidates)?, None, None)
+            }
+            Strategy::GlobalIlp => {
+                let artifacts = build_ilp(&candidates);
+                let solution = solve(&artifacts.model, self.config.solver);
+                let assignment = solution.assignment.as_ref().ok_or_else(|| {
+                    ClashError::Optimization(format!(
+                        "ILP solve failed with status {:?}",
+                        solution.status
+                    ))
+                })?;
+                let selection = extract_selection(&candidates, &artifacts, assignment)?;
+                (selection, Some(artifacts.stats), Some(solution.status))
+            }
+        };
+
+        let share_stores = !matches!(strategy, Strategy::Independent);
+        let plan = TopologyBuilder::new(queries, share_stores).build(&selection);
+        let shared_cost = match strategy {
+            // Without sharing, every query pays its own probe cost.
+            Strategy::Independent => individual_cost,
+            _ => selection.shared_cost,
+        };
+
+        Ok(OptimizationReport {
+            strategy,
+            plan,
+            selection,
+            shared_cost,
+            individual_cost,
+            num_probe_orders: candidates.num_probe_orders(),
+            model_stats,
+            solve_status,
+            optimization_time: started.elapsed(),
+        })
+    }
+
+    /// Plans with every strategy, returning the reports keyed by strategy
+    /// label (used by the Fig. 7 experiment driver).
+    pub fn plan_all(
+        &self,
+        queries: &[JoinQuery],
+    ) -> Result<HashMap<&'static str, OptimizationReport>> {
+        let mut out = HashMap::new();
+        for strategy in [Strategy::Independent, Strategy::Shared, Strategy::GlobalIlp] {
+            out.insert(strategy.label(), self.plan(queries, strategy)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Per-query locally optimal selection: the cheapest decorated candidate
+/// for every (query, start) group, ignoring sharing. Used by both the
+/// Independent and the Shared baselines (they differ only in whether the
+/// topology builder deduplicates stores and prefixes).
+///
+/// Only base-relation probe orders are considered: the baselines model
+/// per-query jobs on engines without intermediate-result materialization
+/// (a cascade of symmetric joins), which also keeps their cost directly
+/// comparable to [`CandidateSet::individual_cost`].
+fn greedy_per_query_selection(candidates: &CandidateSet) -> Result<Selection> {
+    let mut selection = Selection::default();
+    for ((query, start), cands) in &candidates.per_start {
+        let base_only = cands
+            .iter()
+            .filter(|c| c.stores.iter().all(|s| s.is_base()));
+        let best = base_only
+            .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal))
+            .or_else(|| {
+                cands.iter().min_by(|a, b| {
+                    a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal)
+                })
+            })
+            .ok_or_else(|| {
+                ClashError::Optimization(format!(
+                    "no candidate probe order for query {query} start {start}"
+                ))
+            })?;
+        selection.query_orders.push(best.clone());
+    }
+    selection
+        .query_orders
+        .sort_by_key(|o| (o.query.0, o.order.start.0));
+    selection.recompute_shared_cost();
+    Ok(selection)
+}
+
+/// Convenience: the set of starting relations a workload needs probe
+/// orders for (used in tests and experiment assertions).
+pub fn workload_starts(queries: &[JoinQuery]) -> Vec<(QueryId, RelationId)> {
+    let mut out = Vec::new();
+    for q in queries {
+        for r in q.relations.iter() {
+            out.push((q.id, r));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clash_common::Window;
+    use clash_query::parse_query;
+
+    fn setup() -> (Catalog, Statistics, Vec<JoinQuery>) {
+        let mut catalog = Catalog::new();
+        catalog.register("R", ["a"], Window::unbounded(), 1).unwrap();
+        catalog.register("S", ["a", "b"], Window::unbounded(), 2).unwrap();
+        catalog.register("T", ["b", "c"], Window::unbounded(), 2).unwrap();
+        catalog.register("U", ["c"], Window::unbounded(), 1).unwrap();
+        let mut stats = Statistics::new();
+        for m in catalog.iter().map(|m| m.id).collect::<Vec<_>>() {
+            stats.set_rate(m, 100.0);
+        }
+        stats.default_selectivity = 0.01;
+        stats.set_selectivity(
+            catalog.attr("S", "b").unwrap(),
+            catalog.attr("T", "b").unwrap(),
+            0.015,
+        );
+        let q1 = parse_query(&catalog, QueryId::new(0), "q1", "R(a), S(a,b), T(b)").unwrap();
+        let q2 = parse_query(&catalog, QueryId::new(1), "q2", "S(b), T(b,c), U(c)").unwrap();
+        (catalog, stats, vec![q1, q2])
+    }
+
+    #[test]
+    fn all_strategies_produce_plans() {
+        let (catalog, stats, queries) = setup();
+        let planner = Planner::with_defaults(&catalog, &stats);
+        let reports = planner.plan_all(&queries).unwrap();
+        assert_eq!(reports.len(), 3);
+        for (label, report) in &reports {
+            assert!(report.plan.num_stores() > 0, "{label} plan has no stores");
+            assert!(report.plan.num_rules() > 0);
+            assert_eq!(
+                report.selection.query_orders.len(),
+                workload_starts(&queries).len()
+            );
+            assert!(report.shared_cost > 0.0);
+            assert!(report.individual_cost > 0.0);
+            assert!(report.num_probe_orders > 0);
+        }
+    }
+
+    #[test]
+    fn global_ilp_is_no_worse_than_shared_and_independent() {
+        let (catalog, stats, queries) = setup();
+        let planner = Planner::with_defaults(&catalog, &stats);
+        let independent = planner.plan(&queries, Strategy::Independent).unwrap();
+        let shared = planner.plan(&queries, Strategy::Shared).unwrap();
+        let mqo = planner.plan(&queries, Strategy::GlobalIlp).unwrap();
+        assert!(mqo.shared_cost <= shared.shared_cost + 1e-6);
+        assert!(shared.shared_cost <= independent.shared_cost + 1e-6);
+        // For this workload global optimization is strictly better than
+        // independent execution (the S⋈T step is shared).
+        assert!(mqo.shared_cost < independent.shared_cost - 1e-6);
+        assert!(mqo.model_stats.is_some());
+        assert_eq!(mqo.solve_status, Some(SolveStatus::Optimal));
+        assert!(independent.model_stats.is_none());
+    }
+
+    #[test]
+    fn independent_plans_use_more_stores_than_shared() {
+        let (catalog, stats, queries) = setup();
+        let planner = Planner::with_defaults(&catalog, &stats);
+        let independent = planner.plan(&queries, Strategy::Independent).unwrap();
+        let shared = planner.plan(&queries, Strategy::Shared).unwrap();
+        assert!(independent.plan.num_stores() > shared.plan.num_stores());
+        assert!(independent.plan.num_workers() > shared.plan.num_workers());
+    }
+
+    #[test]
+    fn empty_workload_is_rejected() {
+        let (catalog, stats, _) = setup();
+        let planner = Planner::with_defaults(&catalog, &stats);
+        assert!(planner.plan(&[], Strategy::GlobalIlp).is_err());
+    }
+
+    #[test]
+    fn single_query_mqo_matches_individual_cost() {
+        let (catalog, stats, queries) = setup();
+        let planner = Planner::with_defaults(&catalog, &stats);
+        let report = planner.plan(&queries[..1], Strategy::GlobalIlp).unwrap();
+        // With a single query there is nothing to share across queries, but
+        // probe-order prefixes within the query can still be shared, so the
+        // shared cost is at most the individual cost.
+        assert!(report.shared_cost <= report.individual_cost + 1e-6);
+    }
+
+    #[test]
+    fn optimization_time_is_recorded() {
+        let (catalog, stats, queries) = setup();
+        let planner = Planner::with_defaults(&catalog, &stats);
+        let report = planner.plan(&queries, Strategy::GlobalIlp).unwrap();
+        assert!(report.optimization_time > Duration::ZERO);
+    }
+}

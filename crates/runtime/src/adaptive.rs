@@ -1,0 +1,259 @@
+//! Epoch-based adaptive re-optimization (Section VI).
+//!
+//! Time is divided into epochs. Statistics gathered during epoch `i` are
+//! evaluated at the beginning of epoch `i+1`; if the optimizer then
+//! produces a different configuration, it is propagated and becomes active
+//! with epoch `i+2` (Fig. 5). Query arrival and expiry are handled the
+//! same way: the controller re-plans over its current query set, and
+//! stores that no longer serve any query are dropped by the engine when
+//! the new plan is installed (reference counting of Section VI-B).
+
+use crate::engine::LocalEngine;
+use clash_catalog::{Catalog, Statistics};
+use clash_common::{Epoch, QueryId, Result};
+use clash_optimizer::{Planner, PlannerConfig, Strategy, TopologyPlan};
+use clash_query::JoinQuery;
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveConfig {
+    /// Planning strategy used at every re-optimization.
+    pub strategy: Strategy,
+    /// Planner limits.
+    pub planner: PlannerConfig,
+    /// When `false` the controller never re-plans after the initial
+    /// deployment (the "static" baseline of Fig. 8).
+    pub enabled: bool,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            strategy: Strategy::GlobalIlp,
+            planner: PlannerConfig::default(),
+            enabled: true,
+        }
+    }
+}
+
+/// The adaptive controller: owns the query set and prior statistics and
+/// re-plans at epoch boundaries.
+#[derive(Debug)]
+pub struct AdaptiveController {
+    catalog: Catalog,
+    queries: Vec<JoinQuery>,
+    prior: Statistics,
+    config: AdaptiveConfig,
+    last_planned_epoch: Option<Epoch>,
+    /// Configuration scheduled to become active at a future epoch.
+    pending: Option<(Epoch, TopologyPlan)>,
+    /// Number of reconfigurations actually installed.
+    pub reconfigurations: usize,
+}
+
+impl AdaptiveController {
+    /// Creates a controller and computes the initial plan for the engine.
+    pub fn new(
+        catalog: Catalog,
+        queries: Vec<JoinQuery>,
+        prior: Statistics,
+        config: AdaptiveConfig,
+    ) -> Result<(Self, TopologyPlan)> {
+        let planner = Planner::new(&catalog, &prior, config.planner);
+        let report = planner.plan(&queries, config.strategy)?;
+        Ok((
+            AdaptiveController {
+                catalog,
+                queries,
+                prior,
+                config,
+                last_planned_epoch: None,
+                pending: None,
+                reconfigurations: 0,
+            },
+            report.plan,
+        ))
+    }
+
+    /// The current query set.
+    pub fn queries(&self) -> &[JoinQuery] {
+        &self.queries
+    }
+
+    /// Registers a new continuous query; it is incorporated at the next
+    /// epoch boundary (Section VI-B).
+    pub fn add_query(&mut self, query: JoinQuery) {
+        self.queries.retain(|q| q.id != query.id);
+        self.queries.push(query);
+    }
+
+    /// Removes a query; stores only it used are dropped at the next
+    /// reconfiguration.
+    pub fn remove_query(&mut self, query: QueryId) {
+        self.queries.retain(|q| q.id != query);
+    }
+
+    /// Called by the driver whenever stream time has advanced to
+    /// `current_epoch`. Gathers the statistics of the previous epoch,
+    /// re-plans, and schedules / installs new configurations. Returns
+    /// `true` when a new configuration was installed into the engine.
+    pub fn on_epoch(&mut self, engine: &mut LocalEngine, current_epoch: Epoch) -> Result<bool> {
+        // Install a configuration that has become due.
+        let mut installed = false;
+        if let Some((effective, plan)) = self.pending.take() {
+            if current_epoch >= effective {
+                engine.install_plan(plan);
+                self.reconfigurations += 1;
+                installed = true;
+            } else {
+                self.pending = Some((effective, plan));
+            }
+        }
+        if !self.config.enabled {
+            return Ok(installed);
+        }
+        if self.last_planned_epoch == Some(current_epoch) {
+            return Ok(installed);
+        }
+        self.last_planned_epoch = Some(current_epoch);
+        if current_epoch == Epoch::ZERO {
+            return Ok(installed);
+        }
+
+        // Evaluate the statistics of the epoch that just finished.
+        let observed = engine
+            .stats_collector()
+            .snapshot(current_epoch.prev(), &self.prior);
+        self.prior = observed.clone();
+        let planner = Planner::new(&self.catalog, &observed, self.config.planner);
+        let report = planner.plan(&self.queries, self.config.strategy)?;
+
+        // Only schedule a rewiring when the configuration actually differs.
+        if report.plan != *engine.plan() {
+            self.pending = Some((current_epoch.next(), report.plan));
+        }
+        engine.stats_collector_mut().prune(current_epoch.prev());
+        Ok(installed)
+    }
+
+    /// Whether a reconfiguration is scheduled but not yet active.
+    pub fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use clash_common::{Duration, EpochConfig, Timestamp, TupleBuilder, Window};
+    use clash_query::parse_query;
+
+    fn setup() -> (Catalog, Vec<JoinQuery>, Statistics) {
+        let mut catalog = Catalog::new();
+        catalog.register("R", ["a"], Window::secs(5), 1).unwrap();
+        catalog.register("S", ["a", "b"], Window::secs(5), 1).unwrap();
+        catalog.register("T", ["b"], Window::secs(5), 1).unwrap();
+        let mut stats = Statistics::new();
+        for m in catalog.iter().map(|m| m.id).collect::<Vec<_>>() {
+            stats.set_rate(m, 100.0);
+        }
+        let q1 = parse_query(&catalog, QueryId::new(0), "q1", "R(a), S(a,b), T(b)").unwrap();
+        (catalog, vec![q1], stats)
+    }
+
+    fn ingest_some(engine: &mut LocalEngine, catalog: &Catalog, base_ts: u64, n: u64) {
+        let r = catalog.relation_by_name("R").unwrap();
+        let s = catalog.relation_by_name("S").unwrap();
+        for i in 0..n {
+            let ts = Timestamp::from_millis(base_ts + i * 7);
+            let rt = TupleBuilder::new(&r.schema, ts).set("a", (i % 5) as i64).build();
+            engine.ingest(r.id, rt).unwrap();
+            let st = TupleBuilder::new(&s.schema, ts)
+                .set("a", (i % 5) as i64)
+                .set("b", (i % 3) as i64)
+                .build();
+            engine.ingest(s.id, st).unwrap();
+        }
+    }
+
+    fn controller_and_engine(
+        enabled: bool,
+    ) -> (AdaptiveController, LocalEngine, Catalog) {
+        let (catalog, queries, stats) = setup();
+        let config = AdaptiveConfig {
+            enabled,
+            ..AdaptiveConfig::default()
+        };
+        let (controller, plan) =
+            AdaptiveController::new(catalog.clone(), queries, stats, config).unwrap();
+        let engine = LocalEngine::new(
+            catalog.clone(),
+            plan,
+            EngineConfig {
+                epoch: EpochConfig::new(Duration::from_secs(1)),
+                ..EngineConfig::default()
+            },
+        );
+        (controller, engine, catalog)
+    }
+
+    #[test]
+    fn initial_plan_is_produced() {
+        let (controller, engine, _) = controller_and_engine(true);
+        assert!(engine.plan().num_stores() > 0);
+        assert_eq!(controller.queries().len(), 1);
+        assert!(!controller.has_pending());
+    }
+
+    #[test]
+    fn reconfiguration_follows_the_two_epoch_pipeline() {
+        let (mut controller, mut engine, catalog) = controller_and_engine(true);
+        // Epoch 0: data with very different characteristics than the prior.
+        ingest_some(&mut engine, &catalog, 0, 60);
+        // Epoch 1 boundary: statistics of epoch 0 evaluated, new plan
+        // scheduled for epoch 2 (not yet installed).
+        let installed = controller.on_epoch(&mut engine, Epoch(1)).unwrap();
+        assert!(!installed);
+        // Epoch 2 boundary: if a change was scheduled it becomes active now.
+        let had_pending = controller.has_pending();
+        let installed = controller.on_epoch(&mut engine, Epoch(2)).unwrap();
+        assert_eq!(installed, had_pending);
+        assert_eq!(controller.reconfigurations, usize::from(had_pending));
+    }
+
+    #[test]
+    fn disabled_controller_never_replans() {
+        let (mut controller, mut engine, catalog) = controller_and_engine(false);
+        ingest_some(&mut engine, &catalog, 0, 60);
+        for e in 1..5 {
+            let installed = controller.on_epoch(&mut engine, Epoch(e)).unwrap();
+            assert!(!installed);
+        }
+        assert_eq!(controller.reconfigurations, 0);
+        assert!(!controller.has_pending());
+    }
+
+    #[test]
+    fn query_addition_and_removal_change_the_plan() {
+        let (mut controller, mut engine, catalog) = controller_and_engine(true);
+        ingest_some(&mut engine, &catalog, 0, 30);
+        let stores_before = engine.plan().num_stores();
+        // Add a second query over S and T only.
+        let q2 = parse_query(&catalog, QueryId::new(1), "q2", "S(b), T(b)").unwrap();
+        controller.add_query(q2);
+        controller.on_epoch(&mut engine, Epoch(1)).unwrap();
+        controller.on_epoch(&mut engine, Epoch(2)).unwrap();
+        // The new plan answers both queries.
+        assert!(engine.plan().queries.len() >= 2 || controller.has_pending());
+        // Remove the original query: after two more epochs the plan only
+        // needs q2's relations.
+        controller.remove_query(QueryId::new(0));
+        ingest_some(&mut engine, &catalog, 2_000, 30);
+        controller.on_epoch(&mut engine, Epoch(3)).unwrap();
+        controller.on_epoch(&mut engine, Epoch(4)).unwrap();
+        controller.on_epoch(&mut engine, Epoch(5)).unwrap();
+        assert_eq!(engine.plan().queries, vec![QueryId::new(1)]);
+        let _ = stores_before;
+    }
+}

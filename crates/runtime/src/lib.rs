@@ -1,0 +1,36 @@
+//! # clash-runtime
+//!
+//! Execution substrate for the topologies produced by `clash-optimizer`.
+//!
+//! The paper deploys its plans as Apache Storm topologies on a cluster;
+//! this crate substitutes a self-contained runtime that executes the same
+//! stores, rule sets and routing decisions (the substitution is documented
+//! in DESIGN.md):
+//!
+//! * [`StoreInstance`] — a partitioned, epoch-versioned, window-expiring
+//!   relation store with per-attribute hash indexes,
+//! * [`LocalEngine`] — a deterministic, single-process executor that
+//!   ingests input tuples, walks the routing rules of a
+//!   [`clash_optimizer::TopologyPlan`] (Algorithm 3 / 4 of the paper),
+//!   maintains intermediate-result stores, emits join results and tracks
+//!   the metrics the evaluation reports (tuples sent, store memory,
+//!   per-result latency, throughput),
+//! * [`StatsCollector`] — per-epoch sampling of arrival rates and
+//!   predicate selectivities (the "statistics gathering" of Fig. 5),
+//! * [`AdaptiveController`] — epoch-based re-optimization: statistics from
+//!   epoch `i` are evaluated in epoch `i+1` and the new configuration
+//!   becomes active in epoch `i+2` (Section VI-A), with store state
+//!   carried over across reconfigurations and store reference counting on
+//!   query removal (Section VI-B).
+
+pub mod adaptive;
+pub mod engine;
+pub mod metrics;
+pub mod stats_collector;
+pub mod store;
+
+pub use adaptive::{AdaptiveConfig, AdaptiveController};
+pub use engine::{EngineConfig, LocalEngine, ResultSink};
+pub use metrics::{EngineMetrics, LatencyStats, MetricsSnapshot};
+pub use stats_collector::StatsCollector;
+pub use store::StoreInstance;

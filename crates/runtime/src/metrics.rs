@@ -1,0 +1,139 @@
+//! Runtime metrics: the quantities behind Fig. 7b–7d and Fig. 8.
+
+use clash_common::QueryId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Aggregated latency statistics in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean latency (µs).
+    pub mean_us: f64,
+    /// Maximum latency (µs).
+    pub max_us: f64,
+}
+
+/// Mutable metrics accumulated by the engine.
+#[derive(Debug, Clone, Default)]
+pub struct EngineMetrics {
+    /// Input tuples ingested per relation (keyed by raw relation id).
+    pub tuples_ingested: u64,
+    /// Tuple copies sent between stores (the probe cost actually paid).
+    pub tuples_sent: u64,
+    /// Messages that were broadcast to every partition of a store.
+    pub broadcasts: u64,
+    /// Join results emitted per query.
+    pub results: HashMap<QueryId, u64>,
+    /// Probe lookups performed.
+    pub probes: u64,
+    /// Sum and max of per-result latency (µs), per query.
+    latency_sum_us: f64,
+    latency_max_us: f64,
+    latency_count: u64,
+    /// Wall-clock processing time spent inside `ingest`.
+    pub busy: Duration,
+}
+
+impl EngineMetrics {
+    /// Records the latency of one emitted result.
+    pub fn record_latency(&mut self, latency: Duration) {
+        let us = latency.as_secs_f64() * 1e6;
+        self.latency_sum_us += us;
+        self.latency_max_us = self.latency_max_us.max(us);
+        self.latency_count += 1;
+    }
+
+    /// Latency statistics over all emitted results.
+    pub fn latency(&self) -> LatencyStats {
+        LatencyStats {
+            count: self.latency_count,
+            mean_us: if self.latency_count == 0 {
+                0.0
+            } else {
+                self.latency_sum_us / self.latency_count as f64
+            },
+            max_us: self.latency_max_us,
+        }
+    }
+
+    /// Total results across all queries.
+    pub fn total_results(&self) -> u64 {
+        self.results.values().sum()
+    }
+}
+
+/// Immutable snapshot of the engine state used by experiment drivers.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Input tuples ingested.
+    pub tuples_ingested: u64,
+    /// Tuple copies sent between stores.
+    pub tuples_sent: u64,
+    /// Broadcast sends.
+    pub broadcasts: u64,
+    /// Probe lookups performed.
+    pub probes: u64,
+    /// Results per query (keyed by raw query id).
+    pub results: HashMap<u32, u64>,
+    /// Latency statistics.
+    pub latency: LatencyStats,
+    /// Total bytes held by all stores.
+    pub store_bytes: usize,
+    /// Total tuples held by all stores.
+    pub store_tuples: usize,
+    /// Number of store instances.
+    pub num_stores: usize,
+    /// Wall-clock time spent processing (`ingest` calls).
+    pub busy_secs: f64,
+    /// Throughput: ingested tuples per busy second.
+    pub throughput_tps: f64,
+}
+
+impl MetricsSnapshot {
+    /// Results emitted for one query.
+    pub fn results_for(&self, query: QueryId) -> u64 {
+        self.results.get(&query.0).copied().unwrap_or(0)
+    }
+
+    /// Total results across queries.
+    pub fn total_results(&self) -> u64 {
+        self.results.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_aggregation() {
+        let mut m = EngineMetrics::default();
+        assert_eq!(m.latency(), LatencyStats::default());
+        m.record_latency(Duration::from_micros(100));
+        m.record_latency(Duration::from_micros(300));
+        let l = m.latency();
+        assert_eq!(l.count, 2);
+        assert!((l.mean_us - 200.0).abs() < 1e-6);
+        assert!((l.max_us - 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn result_counting() {
+        let mut m = EngineMetrics::default();
+        *m.results.entry(QueryId::new(1)).or_default() += 3;
+        *m.results.entry(QueryId::new(2)).or_default() += 2;
+        assert_eq!(m.total_results(), 5);
+    }
+
+    #[test]
+    fn snapshot_lookups() {
+        let mut s = MetricsSnapshot::default();
+        s.results.insert(7, 11);
+        assert_eq!(s.results_for(QueryId::new(7)), 11);
+        assert_eq!(s.results_for(QueryId::new(8)), 0);
+        assert_eq!(s.total_results(), 11);
+    }
+}

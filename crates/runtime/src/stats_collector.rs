@@ -1,0 +1,178 @@
+//! Per-epoch sampling of data characteristics (Fig. 2 / Fig. 5).
+//!
+//! The collector observes the stream as the engine processes it: arrivals
+//! per relation and, for every equi-join predicate evaluated by a probe
+//! rule, how many matches a probing tuple found relative to the size of
+//! the probed store. From these observations it derives the arrival rates
+//! and selectivities that the optimizer's cost model consumes in the next
+//! epoch.
+
+use clash_catalog::Statistics;
+use clash_common::{AttrRef, Duration, Epoch, RelationId};
+use clash_query::EquiPredicate;
+use std::collections::HashMap;
+
+#[derive(Debug, Default, Clone)]
+struct EpochObservations {
+    arrivals: HashMap<RelationId, u64>,
+    /// predicate -> (probes, matches, accumulated probed-store size).
+    predicate_obs: HashMap<(AttrRef, AttrRef), (u64, u64, u64)>,
+}
+
+/// Collects observations keyed by epoch and turns them into
+/// [`Statistics`] snapshots.
+#[derive(Debug, Default)]
+pub struct StatsCollector {
+    epochs: HashMap<Epoch, EpochObservations>,
+    epoch_length: Duration,
+}
+
+impl StatsCollector {
+    /// Creates a collector for the given epoch length.
+    pub fn new(epoch_length: Duration) -> Self {
+        StatsCollector {
+            epochs: HashMap::new(),
+            epoch_length,
+        }
+    }
+
+    /// Records the arrival of an input tuple.
+    pub fn record_arrival(&mut self, epoch: Epoch, relation: RelationId) {
+        *self
+            .epochs
+            .entry(epoch)
+            .or_default()
+            .arrivals
+            .entry(relation)
+            .or_default() += 1;
+    }
+
+    /// Records the outcome of probing a store with `store_size` live tuples
+    /// under the given predicates.
+    pub fn record_probe(
+        &mut self,
+        epoch: Epoch,
+        predicates: &[EquiPredicate],
+        matches: u64,
+        store_size: u64,
+    ) {
+        let obs = self.epochs.entry(epoch).or_default();
+        for p in predicates {
+            let entry = obs
+                .predicate_obs
+                .entry((p.left, p.right))
+                .or_insert((0, 0, 0));
+            entry.0 += 1;
+            entry.1 += matches;
+            entry.2 += store_size;
+        }
+    }
+
+    /// Builds a statistics snapshot from the observations of one epoch.
+    /// Relations or predicates without observations keep the defaults of
+    /// the provided prior.
+    pub fn snapshot(&self, epoch: Epoch, prior: &Statistics) -> Statistics {
+        let mut stats = prior.clone();
+        stats.epoch = epoch;
+        let Some(obs) = self.epochs.get(&epoch) else {
+            return stats;
+        };
+        let secs = self.epoch_length.as_secs_f64().max(1e-9);
+        for (relation, count) in &obs.arrivals {
+            stats.set_rate(*relation, *count as f64 / secs);
+        }
+        for ((left, right), (probes, matches, store_size_sum)) in &obs.predicate_obs {
+            if *probes == 0 {
+                continue;
+            }
+            let avg_store = *store_size_sum as f64 / *probes as f64;
+            if avg_store <= 0.0 {
+                continue;
+            }
+            let matches_per_probe = *matches as f64 / *probes as f64;
+            let selectivity = (matches_per_probe / avg_store).clamp(0.0, 1.0);
+            stats.set_selectivity(*left, *right, selectivity);
+        }
+        stats
+    }
+
+    /// Drops observations older than `keep_from` (epochs already consumed
+    /// by the optimizer).
+    pub fn prune(&mut self, keep_from: Epoch) {
+        self.epochs.retain(|e, _| *e >= keep_from);
+    }
+
+    /// Number of epochs with observations (for tests / introspection).
+    pub fn observed_epochs(&self) -> usize {
+        self.epochs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clash_common::AttrId;
+
+    fn attr(rel: u32, a: u32) -> AttrRef {
+        AttrRef::new(RelationId::new(rel), AttrId::new(a))
+    }
+
+    #[test]
+    fn arrival_rates_are_normalized_by_epoch_length() {
+        let mut c = StatsCollector::new(Duration::from_secs(2));
+        for _ in 0..200 {
+            c.record_arrival(Epoch(3), RelationId::new(0));
+        }
+        let stats = c.snapshot(Epoch(3), &Statistics::new());
+        assert!((stats.rate(RelationId::new(0)) - 100.0).abs() < 1e-9);
+        assert_eq!(stats.epoch, Epoch(3));
+        // Unobserved relations keep the prior default.
+        assert_eq!(stats.rate(RelationId::new(5)), Statistics::new().default_rate);
+    }
+
+    #[test]
+    fn selectivity_estimated_from_matches_per_probe() {
+        let mut c = StatsCollector::new(Duration::from_secs(1));
+        let pred = EquiPredicate::new(attr(0, 0), attr(1, 0));
+        // 10 probes against a store of 100 tuples, 50 matches total ->
+        // 5 matches per probe -> selectivity 0.05.
+        for _ in 0..10 {
+            c.record_probe(Epoch(0), &[pred], 5, 100);
+        }
+        let stats = c.snapshot(Epoch(0), &Statistics::new());
+        assert!((stats.selectivity(attr(0, 0), attr(1, 0)) - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_of_unobserved_epoch_returns_prior() {
+        let c = StatsCollector::new(Duration::from_secs(1));
+        let mut prior = Statistics::new();
+        prior.set_rate(RelationId::new(1), 42.0);
+        let stats = c.snapshot(Epoch(9), &prior);
+        assert_eq!(stats.rate(RelationId::new(1)), 42.0);
+        assert_eq!(stats.epoch, Epoch(9));
+    }
+
+    #[test]
+    fn pruning_drops_old_epochs() {
+        let mut c = StatsCollector::new(Duration::from_secs(1));
+        c.record_arrival(Epoch(0), RelationId::new(0));
+        c.record_arrival(Epoch(1), RelationId::new(0));
+        c.record_arrival(Epoch(2), RelationId::new(0));
+        assert_eq!(c.observed_epochs(), 3);
+        c.prune(Epoch(2));
+        assert_eq!(c.observed_epochs(), 1);
+    }
+
+    #[test]
+    fn zero_store_size_probes_are_ignored_for_selectivity() {
+        let mut c = StatsCollector::new(Duration::from_secs(1));
+        let pred = EquiPredicate::new(attr(0, 0), attr(1, 0));
+        c.record_probe(Epoch(0), &[pred], 0, 0);
+        let stats = c.snapshot(Epoch(0), &Statistics::new());
+        assert_eq!(
+            stats.selectivity(attr(0, 0), attr(1, 0)),
+            Statistics::new().default_selectivity
+        );
+    }
+}

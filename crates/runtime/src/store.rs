@@ -1,0 +1,417 @@
+//! Partitioned, epoch-versioned relation stores with hash indexes.
+
+use clash_common::{AttrRef, Epoch, Timestamp, Tuple, Value, Window};
+use clash_optimizer::StoreDescriptor;
+use clash_query::EquiPredicate;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// One epoch's worth of stored tuples inside a partition, with hash
+/// indexes per indexed attribute (the paper builds an index per distinct
+/// attribute access of the registered probe rules).
+#[derive(Debug, Default)]
+struct EpochContainer {
+    tuples: Vec<Tuple>,
+    /// attribute -> value -> indices into `tuples`.
+    indexes: HashMap<AttrRef, HashMap<Value, Vec<usize>>>,
+    bytes: usize,
+}
+
+impl EpochContainer {
+    fn insert(&mut self, tuple: Tuple, indexed_attrs: &[AttrRef]) {
+        let idx = self.tuples.len();
+        self.bytes += tuple.approx_size_bytes();
+        for attr in indexed_attrs {
+            if let Some(value) = tuple.get(attr) {
+                self.indexes
+                    .entry(*attr)
+                    .or_default()
+                    .entry(value.clone())
+                    .or_default()
+                    .push(idx);
+            }
+        }
+        self.tuples.push(tuple);
+    }
+
+    /// Candidate matches via the index on `attr` (falls back to a scan when
+    /// the attribute is not indexed).
+    fn candidates(&self, attr: &AttrRef, value: &Value) -> Vec<usize> {
+        match self.indexes.get(attr) {
+            Some(by_value) => by_value.get(value).cloned().unwrap_or_default(),
+            None => (0..self.tuples.len()).collect(),
+        }
+    }
+
+    fn expire(&mut self, horizon: Timestamp) -> usize {
+        if self.tuples.iter().all(|t| t.ts >= horizon) {
+            return 0;
+        }
+        let before = self.tuples.len();
+        let retained: Vec<Tuple> = self
+            .tuples
+            .drain(..)
+            .filter(|t| t.ts >= horizon)
+            .collect();
+        self.indexes.clear();
+        self.bytes = 0;
+        let attrs: Vec<AttrRef> = Vec::new();
+        // Rebuild without indexes first; indexes are rebuilt lazily by the
+        // caller via `rebuild_indexes`.
+        for t in retained {
+            self.bytes += t.approx_size_bytes();
+            self.tuples.push(t);
+        }
+        let _ = attrs;
+        before - self.tuples.len()
+    }
+
+    fn rebuild_indexes(&mut self, indexed_attrs: &[AttrRef]) {
+        self.indexes.clear();
+        for (idx, tuple) in self.tuples.iter().enumerate() {
+            for attr in indexed_attrs {
+                if let Some(value) = tuple.get(attr) {
+                    self.indexes
+                        .entry(*attr)
+                        .or_default()
+                        .entry(value.clone())
+                        .or_default()
+                        .push(idx);
+                }
+            }
+        }
+    }
+}
+
+/// A store holding the tuples of one (possibly intermediate) relation,
+/// split into `parallelism` partitions, each keeping an independent
+/// container per epoch (Algorithm 4 stores and probes "with respect to an
+/// epoch").
+#[derive(Debug)]
+pub struct StoreInstance {
+    /// The store's descriptor (relations, partitioning, parallelism).
+    pub descriptor: StoreDescriptor,
+    /// Window governing expiry of stored tuples.
+    pub window: Window,
+    /// Attributes indexed for probing.
+    indexed_attrs: Vec<AttrRef>,
+    /// partition -> epoch -> container.
+    partitions: Vec<HashMap<Epoch, EpochContainer>>,
+}
+
+/// Hash used for partition routing (stable across the process).
+pub fn partition_hash(value: &Value, parallelism: usize) -> usize {
+    if parallelism <= 1 {
+        return 0;
+    }
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    (h.finish() as usize) % parallelism
+}
+
+impl StoreInstance {
+    /// Creates an empty store.
+    pub fn new(descriptor: StoreDescriptor, window: Window, indexed_attrs: Vec<AttrRef>) -> Self {
+        let partitions = (0..descriptor.parallelism.max(1))
+            .map(|_| HashMap::new())
+            .collect();
+        StoreInstance {
+            descriptor,
+            window,
+            indexed_attrs,
+            partitions,
+        }
+    }
+
+    /// Registers an additional indexed attribute (rules installed later may
+    /// probe on new attributes). Existing containers rebuild lazily on the
+    /// next expiry; new insertions index immediately.
+    pub fn add_indexed_attr(&mut self, attr: AttrRef) {
+        if !self.indexed_attrs.contains(&attr) {
+            self.indexed_attrs.push(attr);
+            for partition in &mut self.partitions {
+                for container in partition.values_mut() {
+                    container.rebuild_indexes(&self.indexed_attrs);
+                }
+            }
+        }
+    }
+
+    /// Number of partitions.
+    pub fn parallelism(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The partition an arriving tuple belongs to, given the routing key
+    /// resolved by the optimizer (`None` = broadcast is decided by the
+    /// caller; storing falls back to partition 0).
+    pub fn partition_for(&self, tuple: &Tuple) -> usize {
+        match self.descriptor.partition {
+            Some(attr) => match tuple.get(&attr) {
+                Some(v) => partition_hash(v, self.parallelism()),
+                None => 0,
+            },
+            None => 0,
+        }
+    }
+
+    /// Inserts a tuple into the given epoch and partition.
+    pub fn insert(&mut self, partition: usize, epoch: Epoch, tuple: Tuple) {
+        let p = partition.min(self.partitions.len().saturating_sub(1));
+        self.partitions[p]
+            .entry(epoch)
+            .or_default()
+            .insert(tuple, &self.indexed_attrs);
+    }
+
+    /// Probes one partition across the given epochs: returns all stored
+    /// tuples that satisfy every predicate against `probe`, arrived
+    /// strictly before the probing tuple and lie within the window.
+    ///
+    /// `probe_attrs` maps each predicate to the attribute on the probing
+    /// tuple's side; the first indexed predicate drives the index lookup.
+    pub fn probe(
+        &self,
+        partition: usize,
+        epochs: &[Epoch],
+        probe: &Tuple,
+        predicates: &[EquiPredicate],
+    ) -> Vec<Tuple> {
+        let p = partition.min(self.partitions.len().saturating_sub(1));
+        let mut results = Vec::new();
+        // Resolve, per predicate, which side belongs to the stored relation
+        // and which value the probing tuple supplies.
+        let mut resolved: Vec<(AttrRef, Value)> = Vec::new();
+        for pred in predicates {
+            let (stored_side, probe_side) =
+                if self.descriptor.relations.contains(pred.left.relation) {
+                    (pred.left, pred.right)
+                } else {
+                    (pred.right, pred.left)
+                };
+            match probe.get(&probe_side) {
+                Some(v) => resolved.push((stored_side, v.clone())),
+                None => return results,
+            }
+        }
+        for epoch in epochs {
+            let Some(container) = self.partitions[p].get(epoch) else {
+                continue;
+            };
+            let candidate_idx: Vec<usize> = match resolved.first() {
+                Some((attr, value)) => container.candidates(attr, value),
+                None => (0..container.tuples.len()).collect(),
+            };
+            'cand: for idx in candidate_idx {
+                let stored = &container.tuples[idx];
+                // Only earlier-arrived tuples join (the probing tuple is the
+                // latest constituent of the result) and the window must hold.
+                if stored.ts >= probe.ts || !self.window.contains(probe.ts, stored.ts) {
+                    continue;
+                }
+                for (attr, value) in &resolved {
+                    match stored.get(attr) {
+                        Some(v) if v.join_eq(value) => {}
+                        _ => continue 'cand,
+                    }
+                }
+                results.push(stored.clone());
+            }
+        }
+        results
+    }
+
+    /// Drops tuples older than `horizon` from every partition and epoch,
+    /// removing empty epoch containers. Returns the number of expired
+    /// tuples.
+    pub fn expire(&mut self, horizon: Timestamp) -> usize {
+        let mut removed = 0;
+        for partition in &mut self.partitions {
+            for container in partition.values_mut() {
+                let n = container.expire(horizon);
+                if n > 0 {
+                    container.rebuild_indexes(&self.indexed_attrs);
+                }
+                removed += n;
+            }
+            partition.retain(|_, c| !c.tuples.is_empty());
+        }
+        removed
+    }
+
+    /// Number of stored tuples across partitions and epochs.
+    pub fn len(&self) -> usize {
+        self.partitions
+            .iter()
+            .flat_map(|p| p.values())
+            .map(|c| c.tuples.len())
+            .sum()
+    }
+
+    /// `true` when the store holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate memory footprint of the stored tuples.
+    pub fn bytes(&self) -> usize {
+        self.partitions
+            .iter()
+            .flat_map(|p| p.values())
+            .map(|c| c.bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clash_common::{AttrId, RelationId, RelationSet, Schema, TupleBuilder};
+
+    fn schema_s() -> Schema {
+        Schema::new(RelationId::new(1), "S", ["a", "b"])
+    }
+
+    fn s_tuple(a: i64, b: i64, ts: u64) -> Tuple {
+        TupleBuilder::new(&schema_s(), Timestamp::from_millis(ts))
+            .set("a", a)
+            .set("b", b)
+            .build()
+    }
+
+    fn s_store(parallelism: usize) -> StoreInstance {
+        let attr_a = AttrRef::new(RelationId::new(1), AttrId::new(0));
+        let descriptor = if parallelism > 1 {
+            StoreDescriptor::partitioned(RelationSet::singleton(RelationId::new(1)), attr_a, parallelism)
+        } else {
+            StoreDescriptor::unpartitioned(RelationSet::singleton(RelationId::new(1)))
+        };
+        StoreInstance::new(descriptor, Window::secs(10), vec![attr_a])
+    }
+
+    fn pred_ra_sa() -> EquiPredicate {
+        // R.a = S.a with R = relation 0 attr 0, S = relation 1 attr 0.
+        EquiPredicate::new(
+            AttrRef::new(RelationId::new(0), AttrId::new(0)),
+            AttrRef::new(RelationId::new(1), AttrId::new(0)),
+        )
+    }
+
+    fn r_tuple(a: i64, ts: u64) -> Tuple {
+        let schema = Schema::new(RelationId::new(0), "R", ["a"]);
+        TupleBuilder::new(&schema, Timestamp::from_millis(ts)).set("a", a).build()
+    }
+
+    #[test]
+    fn insert_and_probe_matches_on_predicate() {
+        let mut store = s_store(1);
+        store.insert(0, Epoch(0), s_tuple(1, 10, 100));
+        store.insert(0, Epoch(0), s_tuple(2, 20, 150));
+        store.insert(0, Epoch(0), s_tuple(1, 30, 200));
+        assert_eq!(store.len(), 3);
+        assert!(store.bytes() > 0);
+
+        let probe = r_tuple(1, 500);
+        let matches = store.probe(0, &[Epoch(0)], &probe, &[pred_ra_sa()]);
+        assert_eq!(matches.len(), 2, "both S tuples with a=1 match");
+
+        let probe = r_tuple(3, 500);
+        assert!(store.probe(0, &[Epoch(0)], &probe, &[pred_ra_sa()]).is_empty());
+    }
+
+    #[test]
+    fn probe_only_sees_earlier_tuples_within_window() {
+        let mut store = s_store(1);
+        store.insert(0, Epoch(0), s_tuple(1, 0, 1_000));
+        store.insert(0, Epoch(0), s_tuple(1, 0, 30_000));
+        // Probe at t=12s: the 1s tuple is outside the 10s window, the 30s
+        // tuple arrived later.
+        let probe = r_tuple(1, 12_000);
+        assert!(store.probe(0, &[Epoch(0)], &probe, &[pred_ra_sa()]).is_empty());
+        // Probe at t=8s sees the 1s tuple.
+        let probe = r_tuple(1, 8_000);
+        assert_eq!(store.probe(0, &[Epoch(0)], &probe, &[pred_ra_sa()]).len(), 1);
+    }
+
+    #[test]
+    fn probing_respects_epoch_scoping() {
+        let mut store = s_store(1);
+        store.insert(0, Epoch(0), s_tuple(1, 0, 100));
+        store.insert(0, Epoch(1), s_tuple(1, 0, 200));
+        let probe = r_tuple(1, 1_000);
+        assert_eq!(store.probe(0, &[Epoch(0)], &probe, &[pred_ra_sa()]).len(), 1);
+        assert_eq!(
+            store.probe(0, &[Epoch(0), Epoch(1)], &probe, &[pred_ra_sa()]).len(),
+            2
+        );
+        assert!(store.probe(0, &[Epoch(5)], &probe, &[pred_ra_sa()]).is_empty());
+    }
+
+    #[test]
+    fn partitioned_store_routes_by_partition_attribute() {
+        let mut store = s_store(4);
+        let t = s_tuple(42, 7, 100);
+        let p = store.partition_for(&t);
+        store.insert(p, Epoch(0), t);
+        // Probing the right partition finds it, a wrong partition does not.
+        let probe = r_tuple(42, 500);
+        assert_eq!(store.probe(p, &[Epoch(0)], &probe, &[pred_ra_sa()]).len(), 1);
+        let other = (p + 1) % 4;
+        assert!(store.probe(other, &[Epoch(0)], &probe, &[pred_ra_sa()]).is_empty());
+    }
+
+    #[test]
+    fn expiry_removes_old_tuples_and_keeps_probes_working() {
+        let mut store = s_store(1);
+        for i in 0..10 {
+            store.insert(0, Epoch(0), s_tuple(1, i, 100 * i as u64));
+        }
+        assert_eq!(store.len(), 10);
+        let removed = store.expire(Timestamp::from_millis(500));
+        assert_eq!(removed, 5);
+        assert_eq!(store.len(), 5);
+        let probe = r_tuple(1, 10_000);
+        assert_eq!(store.probe(0, &[Epoch(0)], &probe, &[pred_ra_sa()]).len(), 5);
+        // Expiring everything empties the store.
+        store.expire(Timestamp::from_millis(100_000));
+        assert!(store.is_empty());
+        assert_eq!(store.bytes(), 0);
+    }
+
+    #[test]
+    fn probe_without_predicates_returns_all_earlier_tuples() {
+        let mut store = s_store(1);
+        store.insert(0, Epoch(0), s_tuple(1, 1, 100));
+        store.insert(0, Epoch(0), s_tuple(2, 2, 200));
+        let probe = r_tuple(9, 1_000);
+        let matches = store.probe(0, &[Epoch(0)], &probe, &[]);
+        assert_eq!(matches.len(), 2);
+    }
+
+    #[test]
+    fn adding_indexed_attribute_rebuilds_indexes() {
+        let mut store = s_store(1);
+        store.insert(0, Epoch(0), s_tuple(5, 50, 100));
+        let attr_b = AttrRef::new(RelationId::new(1), AttrId::new(1));
+        store.add_indexed_attr(attr_b);
+        // Probe on S.b = T.b style predicate.
+        let t_schema = Schema::new(RelationId::new(2), "T", ["b"]);
+        let probe = TupleBuilder::new(&t_schema, Timestamp::from_millis(900))
+            .set("b", 50)
+            .build();
+        let pred = EquiPredicate::new(attr_b, AttrRef::new(RelationId::new(2), AttrId::new(0)));
+        assert_eq!(store.probe(0, &[Epoch(0)], &probe, &[pred]).len(), 1);
+    }
+
+    #[test]
+    fn partition_hash_is_stable_and_bounded() {
+        let v = Value::Int(123);
+        let a = partition_hash(&v, 7);
+        let b = partition_hash(&v, 7);
+        assert_eq!(a, b);
+        assert!(a < 7);
+        assert_eq!(partition_hash(&v, 1), 0);
+        assert_eq!(partition_hash(&v, 0), 0);
+    }
+}
