@@ -77,7 +77,11 @@ pub fn plan_space_ablation(nq: usize, seed: u64) -> Vec<AblationRow> {
     let (env, queries) = workload(seed, nq);
     let mut rows = Vec::new();
     let variants = [
-        ("partitioning (χ) awareness", "on", PlanSpaceConfig::default()),
+        (
+            "partitioning (χ) awareness",
+            "on",
+            PlanSpaceConfig::default(),
+        ),
         (
             "partitioning (χ) awareness",
             "off",

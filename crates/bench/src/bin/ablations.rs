@@ -12,7 +12,10 @@ fn main() {
     let mut rows = warm_start_ablation(nq, 3);
     rows.extend(plan_space_ablation(nq, 3));
     print_rows("Ablations", &rows);
-    println!("{:<32} {:<12} {:>14} {:>12}", "ablation", "variant", "cost", "runtime[ms]");
+    println!(
+        "{:<32} {:<12} {:>14} {:>12}",
+        "ablation", "variant", "cost", "runtime[ms]"
+    );
     for r in &rows {
         println!(
             "{:<32} {:<12} {:>14.1} {:>12.1}",

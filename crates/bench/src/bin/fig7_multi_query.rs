@@ -1,10 +1,11 @@
 //! Regenerates Fig. 7b (throughput), 7c (memory) and 7d (latency):
 //! multi-query performance of Independent / Shared / CMQO execution on the
-//! TPC-H-shaped workload with 5 and 10 queries.
+//! TPC-H-shaped workload with 5 and 10 queries, plus the sharded-runtime
+//! comparison (LocalEngine vs ParallelEngine at 1/2/4 workers).
 //!
 //! Usage: `cargo run --release -p clash-bench --bin fig7_multi_query [num_tuples]`
 
-use clash_bench::fig7::run_fig7;
+use clash_bench::fig7::{run_fig7, run_fig7_parallel};
 use clash_bench::print_rows;
 
 fn main() {
@@ -24,6 +25,23 @@ fn main() {
             println!(
                 "{:<12} {:>16.0} {:>12.2} {:>12.3} {:>12}",
                 r.strategy, r.throughput_tps, r.memory_mb, r.latency_ms, r.results
+            );
+        }
+        println!();
+    }
+
+    println!("# Sharded runtime — CMQO plan, wall-clock engine comparison\n");
+    for num_queries in [5usize, 10] {
+        let rows = run_fig7_parallel(num_queries, num_tuples, 0.002, 42, &[1, 2, 4]);
+        print_rows(&format!("Fig. 7 parallel — {num_queries} queries"), &rows);
+        println!(
+            "{:<12} {:>8} {:>16} {:>10} {:>10} {:>10} {:>12}",
+            "engine", "workers", "wall tput[t/s]", "speedup", "busy[s]", "balance", "results"
+        );
+        for r in &rows {
+            println!(
+                "{:<12} {:>8} {:>16.0} {:>9.2}x {:>10.2} {:>10.2} {:>12}",
+                r.engine, r.workers, r.wall_tps, r.speedup, r.busy_secs, r.busy_balance, r.results
             );
         }
         println!();

@@ -15,8 +15,15 @@ fn main() {
 
     for num_relations in [10usize, 100] {
         let rows = run_probe_cost_sweep(num_relations, &nq_values, 1);
-        let fig = if num_relations == 10 { "9a/9b" } else { "9c/9d/9e" };
-        print_rows(&format!("Fig. {fig} — {num_relations} input relations"), &rows);
+        let fig = if num_relations == 10 {
+            "9a/9b"
+        } else {
+            "9c/9d/9e"
+        };
+        print_rows(
+            &format!("Fig. {fig} — {num_relations} input relations"),
+            &rows,
+        );
         println!(
             "{:>6} {:>18} {:>14} {:>10} {:>12} {:>12}",
             "nQ", "individual", "MQO", "vars", "probe ords", "runtime[ms]"
@@ -24,7 +31,12 @@ fn main() {
         for r in &rows {
             println!(
                 "{:>6} {:>18.1} {:>14.1} {:>10} {:>12} {:>12.1}",
-                r.num_queries, r.individual_cost, r.mqo_cost, r.variables, r.probe_orders, r.runtime_ms
+                r.num_queries,
+                r.individual_cost,
+                r.mqo_cost,
+                r.variables,
+                r.probe_orders,
+                r.runtime_ms
             );
         }
         println!();
@@ -35,6 +47,9 @@ fn main() {
     print_rows("Fig. 9f — runtime vs. query size (100 relations)", &rows);
     println!("{:>6} {:>6} {:>12}", "size", "nQ", "runtime[ms]");
     for r in &rows {
-        println!("{:>6} {:>6} {:>12.1}", r.query_size, r.num_queries, r.runtime_ms);
+        println!(
+            "{:>6} {:>6} {:>12.1}",
+            r.query_size, r.num_queries, r.runtime_ms
+        );
     }
 }

@@ -8,7 +8,7 @@
 //! makes the frozen plan's intermediate results explode while the adaptive
 //! deployment re-optimizes after one epoch.
 
-use clash_common::{Duration, EpochConfig, Epoch, Timestamp};
+use clash_common::{Duration, Epoch, EpochConfig, Timestamp};
 use clash_datagen::AdaptiveScenario;
 use clash_optimizer::Strategy;
 use clash_runtime::{AdaptiveConfig, AdaptiveController, EngineConfig, LocalEngine};
@@ -76,12 +76,8 @@ fn deploy(scenario: &AdaptiveScenario, adaptive: bool) -> Deployment {
 /// `rounds_per_s` tuples per relation and second, characteristics flipping
 /// at `shift_s`.
 pub fn run_fig8(duration_s: u64, rounds_per_s: u64, shift_s: u64, seed: u64) -> Vec<Fig8Point> {
-    let mut scenario = AdaptiveScenario::new(
-        200,
-        Timestamp::from_millis(shift_s * 1000),
-        seed,
-    )
-    .expect("scenario");
+    let mut scenario =
+        AdaptiveScenario::new(200, Timestamp::from_millis(shift_s * 1000), seed).expect("scenario");
     let mut adaptive = deploy(&scenario, true);
     let mut static_dep = deploy(&scenario, false);
 

@@ -6,8 +6,8 @@
 //! without multi-query sharing (Fig. 9a / 9c), the ILP problem size
 //! (Fig. 9b / 9d) and the optimization runtime (Fig. 9e / 9f).
 
-use clash_ilp::SolverConfig;
 use clash_datagen::{SyntheticEnv, SyntheticWorkloadConfig};
+use clash_ilp::SolverConfig;
 use clash_optimizer::{Planner, PlannerConfig, Strategy};
 use serde::Serialize;
 use std::time::Duration;
@@ -76,11 +76,7 @@ pub fn optimize_random_workload(
 }
 
 /// Fig. 9a–9e: sweep the number of queries for a fixed pool size.
-pub fn run_probe_cost_sweep(
-    num_relations: usize,
-    nq_values: &[usize],
-    seed: u64,
-) -> Vec<Fig9Row> {
+pub fn run_probe_cost_sweep(num_relations: usize, nq_values: &[usize], seed: u64) -> Vec<Fig9Row> {
     nq_values
         .iter()
         .map(|nq| optimize_random_workload(num_relations, *nq, 3, seed + *nq as u64))
@@ -89,15 +85,16 @@ pub fn run_probe_cost_sweep(
 
 /// Fig. 9f: sweep the query size for fixed workload sizes over 100
 /// relations.
-pub fn run_query_size_sweep(
-    sizes: &[usize],
-    nq_values: &[usize],
-    seed: u64,
-) -> Vec<Fig9Row> {
+pub fn run_query_size_sweep(sizes: &[usize], nq_values: &[usize], seed: u64) -> Vec<Fig9Row> {
     let mut rows = Vec::new();
     for &size in sizes {
         for &nq in nq_values {
-            rows.push(optimize_random_workload(100, nq, size, seed + (size * 1000 + nq) as u64));
+            rows.push(optimize_random_workload(
+                100,
+                nq,
+                size,
+                seed + (size * 1000 + nq) as u64,
+            ));
         }
     }
     rows

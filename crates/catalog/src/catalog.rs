@@ -102,9 +102,9 @@ impl Catalog {
     /// Resolves `relation.attribute` given as names into an [`AttrRef`].
     pub fn attr(&self, relation: &str, attribute: &str) -> Result<AttrRef> {
         let meta = self.relation_by_name(relation)?;
-        meta.schema.attr_ref(attribute).ok_or_else(|| {
-            ClashError::unknown(format!("attribute {relation}.{attribute}"))
-        })
+        meta.schema
+            .attr_ref(attribute)
+            .ok_or_else(|| ClashError::unknown(format!("attribute {relation}.{attribute}")))
     }
 
     /// Human readable name of an attribute reference (`"S.b"`), falling back

@@ -50,7 +50,10 @@ mod tests {
             parallelism: 0,
         };
         assert_eq!(meta.broadcast_factor(), 1.0);
-        let meta = RelationMeta { parallelism: 5, ..meta };
+        let meta = RelationMeta {
+            parallelism: 5,
+            ..meta
+        };
         assert_eq!(meta.broadcast_factor(), 5.0);
     }
 }

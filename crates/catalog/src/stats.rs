@@ -80,7 +80,10 @@ impl Statistics {
 
     /// Arrival rate of a relation (default if never set).
     pub fn rate(&self, relation: RelationId) -> f64 {
-        self.rates.get(&relation).copied().unwrap_or(self.default_rate)
+        self.rates
+            .get(&relation)
+            .copied()
+            .unwrap_or(self.default_rate)
     }
 
     /// Sets the selectivity of the equi-join predicate `a = b`.
@@ -193,7 +196,11 @@ mod tests {
         assert_eq!(s.rate(RelationId::new(0)), 5000.0);
         assert_eq!(s.rate(RelationId::new(1)), 100.0);
         s.set_rate(RelationId::new(1), -3.0);
-        assert_eq!(s.rate(RelationId::new(1)), 0.0, "negative rates clamp to zero");
+        assert_eq!(
+            s.rate(RelationId::new(1)),
+            0.0,
+            "negative rates clamp to zero"
+        );
     }
 
     #[test]
@@ -205,7 +212,11 @@ mod tests {
         assert!(!s.has_selectivity(attr(0, 0), attr(2, 0)));
         assert_eq!(s.selectivity(attr(0, 0), attr(2, 0)), 0.01);
         s.set_selectivity(attr(0, 0), attr(2, 0), 7.0);
-        assert_eq!(s.selectivity(attr(0, 0), attr(2, 0)), 1.0, "clamped to [0,1]");
+        assert_eq!(
+            s.selectivity(attr(0, 0), attr(2, 0)),
+            1.0,
+            "clamped to [0,1]"
+        );
     }
 
     #[test]

@@ -75,7 +75,10 @@ mod tests {
             ClashError::invalid_query("x"),
             ClashError::InvalidQuery(_)
         ));
-        assert!(matches!(ClashError::unknown("y"), ClashError::UnknownEntity(_)));
+        assert!(matches!(
+            ClashError::unknown("y"),
+            ClashError::UnknownEntity(_)
+        ));
     }
 
     #[test]

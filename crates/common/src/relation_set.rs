@@ -37,15 +37,6 @@ impl RelationSet {
         s
     }
 
-    /// Creates a set from an iterator of relation ids.
-    pub fn from_iter(iter: impl IntoIterator<Item = RelationId>) -> Self {
-        let mut s = RelationSet::new();
-        for r in iter {
-            s.insert(r);
-        }
-        s
-    }
-
     /// Inserts a relation. Panics if the id exceeds [`MAX_RELATIONS`].
     pub fn insert(&mut self, r: RelationId) {
         assert!(
@@ -137,7 +128,11 @@ impl RelationSet {
 
 impl FromIterator<RelationId> for RelationSet {
     fn from_iter<T: IntoIterator<Item = RelationId>>(iter: T) -> Self {
-        RelationSet::from_iter(iter)
+        let mut s = RelationSet::new();
+        for r in iter {
+            s.insert(r);
+        }
+        s
     }
 }
 

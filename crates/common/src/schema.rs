@@ -89,9 +89,7 @@ impl Schema {
 }
 
 /// A fully qualified attribute reference: `relation.attribute`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct AttrRef {
     /// The relation the attribute belongs to.
     pub relation: RelationId,

@@ -235,7 +235,11 @@ mod tests {
         let t = Timestamp::from_secs(2);
         assert_eq!(t.as_millis(), 2000);
         assert_eq!((t + Duration::from_millis(500)).as_millis(), 2500);
-        assert_eq!((t - Duration::from_secs(3)).as_millis(), 0, "subtraction saturates");
+        assert_eq!(
+            (t - Duration::from_secs(3)).as_millis(),
+            0,
+            "subtraction saturates"
+        );
         assert_eq!(t.since(Timestamp::from_millis(500)).as_millis(), 1500);
         assert_eq!(Timestamp::from_millis(1).since(t), Duration::ZERO);
     }
@@ -245,9 +249,15 @@ mod tests {
         let w = Window::secs(5);
         let probe = Timestamp::from_secs(10);
         assert!(w.contains(probe, Timestamp::from_secs(6)));
-        assert!(w.contains(probe, Timestamp::from_secs(5)), "boundary is inclusive");
+        assert!(
+            w.contains(probe, Timestamp::from_secs(5)),
+            "boundary is inclusive"
+        );
         assert!(!w.contains(probe, Timestamp::from_secs(4)));
-        assert!(!w.contains(probe, Timestamp::from_secs(11)), "later tuples excluded");
+        assert!(
+            !w.contains(probe, Timestamp::from_secs(11)),
+            "later tuples excluded"
+        );
         assert_eq!(w.horizon(probe), Timestamp::from_secs(5));
     }
 
@@ -273,7 +283,10 @@ mod tests {
         let w = Window::secs(2);
         let epochs = cfg.epochs_for(Timestamp::from_millis(4500), w);
         // [2500, 6500] -> epochs 2..=6
-        assert_eq!(epochs, vec![Epoch(2), Epoch(3), Epoch(4), Epoch(5), Epoch(6)]);
+        assert_eq!(
+            epochs,
+            vec![Epoch(2), Epoch(3), Epoch(4), Epoch(5), Epoch(6)]
+        );
     }
 
     #[test]

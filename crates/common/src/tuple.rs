@@ -39,11 +39,7 @@ pub struct Tuple {
 
 impl Tuple {
     /// Creates a base tuple of a single relation.
-    pub fn base(
-        relation: RelationId,
-        ts: Timestamp,
-        values: Vec<(AttrRef, Value)>,
-    ) -> Self {
+    pub fn base(relation: RelationId, ts: Timestamp, values: Vec<(AttrRef, Value)>) -> Self {
         Tuple {
             ts,
             ingest_ts: ts,
@@ -54,10 +50,7 @@ impl Tuple {
 
     /// Looks up a value by fully qualified attribute reference.
     pub fn get(&self, attr: &AttrRef) -> Option<&Value> {
-        self.values
-            .iter()
-            .find(|(a, _)| a == attr)
-            .map(|(_, v)| v)
+        self.values.iter().find(|(a, _)| a == attr).map(|(_, v)| v)
     }
 
     /// Number of attribute values carried.

@@ -227,7 +227,9 @@ mod tests {
     fn size_accounting_tracks_string_length() {
         assert_eq!(Value::Int(1).approx_size_bytes(), 8);
         assert!(Value::str("hello").approx_size_bytes() >= 5);
-        assert!(Value::str("a longer string").approx_size_bytes() > Value::str("a").approx_size_bytes());
+        assert!(
+            Value::str("a longer string").approx_size_bytes() > Value::str("a").approx_size_bytes()
+        );
     }
 
     #[test]

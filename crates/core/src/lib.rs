@@ -30,10 +30,10 @@
 
 pub mod system;
 
-pub use system::{ClashSystem, SystemConfig};
+pub use system::{ClashSystem, RuntimeMode, SystemConfig};
 
 pub use clash_catalog::{Catalog, Statistics};
 pub use clash_common as common;
 pub use clash_optimizer::{OptimizationReport, Strategy, TopologyPlan};
 pub use clash_query::JoinQuery;
-pub use clash_runtime::{LocalEngine, MetricsSnapshot};
+pub use clash_runtime::{LocalEngine, MetricsSnapshot, ParallelEngine};

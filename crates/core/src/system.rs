@@ -6,7 +6,21 @@ use clash_common::{
 };
 use clash_optimizer::{OptimizationReport, Planner, PlannerConfig, Strategy};
 use clash_query::{parse_query, JoinQuery, QueryBuilder};
-use clash_runtime::{AdaptiveConfig, AdaptiveController, EngineConfig, LocalEngine, MetricsSnapshot};
+use clash_runtime::{
+    AdaptiveConfig, AdaptiveController, EngineConfig, LocalEngine, MetricsSnapshot, ParallelEngine,
+};
+
+/// Which execution runtime a deployment uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuntimeMode {
+    /// The deterministic single-threaded [`LocalEngine`].
+    #[default]
+    Local,
+    /// The sharded [`ParallelEngine`] with the given number of worker
+    /// threads; `0` spawns one worker per partition of the widest store
+    /// (the catalog's `parallelism`).
+    Parallel(usize),
+}
 
 /// System-wide configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -18,6 +32,45 @@ pub struct SystemConfig {
     pub planner: PlannerConfig,
     /// Keep emitted results in memory so callers can inspect them.
     pub collect_results: bool,
+    /// Execution runtime for deployments.
+    pub runtime: RuntimeMode,
+}
+
+/// A deployed engine of either runtime, dispatching the operations the
+/// system needs.
+enum EngineHandle {
+    Local(LocalEngine),
+    Parallel(ParallelEngine),
+}
+
+impl EngineHandle {
+    fn epoch_config(&self) -> clash_common::EpochConfig {
+        match self {
+            EngineHandle::Local(e) => e.epoch_config(),
+            EngineHandle::Parallel(e) => e.epoch_config(),
+        }
+    }
+
+    fn ingest(&mut self, relation: RelationId, tuple: Tuple) -> Result<u64> {
+        match self {
+            EngineHandle::Local(e) => e.ingest(relation, tuple),
+            EngineHandle::Parallel(e) => e.ingest(relation, tuple),
+        }
+    }
+
+    fn snapshot(&mut self) -> MetricsSnapshot {
+        match self {
+            EngineHandle::Local(e) => e.snapshot(),
+            EngineHandle::Parallel(e) => e.snapshot(),
+        }
+    }
+
+    fn results(&self) -> &[(QueryId, Tuple)] {
+        match self {
+            EngineHandle::Local(e) => e.results(),
+            EngineHandle::Parallel(e) => e.results(),
+        }
+    }
 }
 
 /// The CLASH system: catalog + statistics + optimizer + runtime + adaptive
@@ -28,7 +81,7 @@ pub struct ClashSystem {
     stats: Statistics,
     queries: Vec<JoinQuery>,
     next_query_id: u32,
-    engine: Option<LocalEngine>,
+    engine: Option<EngineHandle>,
     controller: Option<AdaptiveController>,
     strategy: Strategy,
     last_report: Option<OptimizationReport>,
@@ -190,7 +243,17 @@ impl ClashSystem {
         let report = planner.plan(&self.queries, strategy)?;
         let mut engine_config = self.config.engine;
         engine_config.collect_results = self.config.collect_results;
-        self.engine = Some(LocalEngine::new(self.catalog.clone(), plan, engine_config));
+        self.engine = Some(match self.config.runtime {
+            RuntimeMode::Local => {
+                EngineHandle::Local(LocalEngine::new(self.catalog.clone(), plan, engine_config))
+            }
+            RuntimeMode::Parallel(workers) => EngineHandle::Parallel(ParallelEngine::new(
+                self.catalog.clone(),
+                plan,
+                engine_config,
+                workers,
+            )),
+        });
         self.controller = Some(controller);
         self.last_report = Some(report);
         Ok(self.last_report.as_ref().expect("just set"))
@@ -233,33 +296,63 @@ impl ClashSystem {
         if epoch > self.last_epoch_seen {
             self.last_epoch_seen = epoch;
             if let Some(controller) = &mut self.controller {
-                controller.on_epoch(engine, epoch)?;
+                match engine {
+                    EngineHandle::Local(e) => {
+                        controller.on_epoch(e, epoch)?;
+                    }
+                    EngineHandle::Parallel(e) => {
+                        // Epoch barrier: aggregate the workers' statistics
+                        // deltas before the controller evaluates them.
+                        e.flush();
+                        controller.on_epoch(e, epoch)?;
+                    }
+                }
             }
         }
         Ok(produced)
     }
 
-    /// Metrics snapshot of the deployed engine.
-    pub fn snapshot(&self) -> Result<MetricsSnapshot> {
+    /// Metrics snapshot of the deployed engine. For the parallel runtime
+    /// this runs a drain barrier first, so the snapshot covers everything
+    /// ingested so far.
+    pub fn snapshot(&mut self) -> Result<MetricsSnapshot> {
         self.engine
-            .as_ref()
+            .as_mut()
             .map(|e| e.snapshot())
             .ok_or_else(|| ClashError::Runtime("system not deployed".into()))
     }
 
-    /// Collected results (requires `collect_results` in the config).
+    /// Collected results (requires `collect_results` in the config). With
+    /// the parallel runtime this reflects the state as of the last barrier
+    /// (call [`Self::snapshot`] first to drain).
     pub fn results(&self) -> &[(QueryId, Tuple)] {
         self.engine.as_ref().map(|e| e.results()).unwrap_or(&[])
     }
 
     /// Number of reconfigurations the adaptive controller has installed.
     pub fn reconfigurations(&self) -> usize {
-        self.controller.as_ref().map(|c| c.reconfigurations).unwrap_or(0)
+        self.controller
+            .as_ref()
+            .map(|c| c.reconfigurations)
+            .unwrap_or(0)
     }
 
-    /// Direct access to the engine (experiment drivers).
+    /// Direct access to the local engine (experiment drivers); `None` when
+    /// deployed on the parallel runtime.
     pub fn engine_mut(&mut self) -> Option<&mut LocalEngine> {
-        self.engine.as_mut()
+        match self.engine.as_mut() {
+            Some(EngineHandle::Local(e)) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Direct access to the parallel engine; `None` when deployed on the
+    /// local runtime.
+    pub fn parallel_engine_mut(&mut self) -> Option<&mut ParallelEngine> {
+        match self.engine.as_mut() {
+            Some(EngineHandle::Parallel(e)) => Some(e),
+            _ => None,
+        }
     }
 }
 
@@ -272,20 +365,20 @@ mod tests {
             collect_results: true,
             ..SystemConfig::default()
         });
-        clash.register_relation("R", ["a"], Window::secs(3600), 1).unwrap();
+        clash
+            .register_relation("R", ["a"], Window::secs(3600), 1)
+            .unwrap();
         clash
             .register_relation("S", ["a", "b"], Window::secs(3600), 1)
             .unwrap();
-        clash.register_relation("T", ["b"], Window::secs(3600), 1).unwrap();
+        clash
+            .register_relation("T", ["b"], Window::secs(3600), 1)
+            .unwrap();
         clash.set_rate("R", 100.0).unwrap();
         clash.set_rate("S", 100.0).unwrap();
         clash.set_rate("T", 100.0).unwrap();
-        clash
-            .set_selectivity(("R", "a"), ("S", "a"), 0.01)
-            .unwrap();
-        clash
-            .set_selectivity(("S", "b"), ("T", "b"), 0.01)
-            .unwrap();
+        clash.set_selectivity(("R", "a"), ("S", "a"), 0.01).unwrap();
+        clash.set_selectivity(("S", "b"), ("T", "b"), 0.01).unwrap();
         clash.register_query("q1", "R(a), S(a,b), T(b)").unwrap();
         clash
     }
@@ -319,7 +412,9 @@ mod tests {
     #[test]
     fn deploy_without_queries_fails() {
         let mut clash = ClashSystem::new(SystemConfig::default());
-        clash.register_relation("R", ["a"], Window::secs(1), 1).unwrap();
+        clash
+            .register_relation("R", ["a"], Window::secs(1), 1)
+            .unwrap();
         assert!(clash.deploy(Strategy::Shared).is_err());
     }
 
@@ -363,19 +458,69 @@ mod tests {
     }
 
     #[test]
+    fn parallel_runtime_matches_local_results() {
+        let deploy_and_run = |runtime: RuntimeMode| -> u64 {
+            let mut clash = ClashSystem::new(SystemConfig {
+                collect_results: true,
+                runtime,
+                ..SystemConfig::default()
+            });
+            clash
+                .register_relation("R", ["a"], Window::secs(3600), 2)
+                .unwrap();
+            clash
+                .register_relation("S", ["a", "b"], Window::secs(3600), 2)
+                .unwrap();
+            clash
+                .register_relation("T", ["b"], Window::secs(3600), 2)
+                .unwrap();
+            clash.register_query("q1", "R(a), S(a,b), T(b)").unwrap();
+            clash.deploy(Strategy::GlobalIlp).unwrap();
+            for i in 0..200u64 {
+                let ts = i * 3;
+                let a = (i % 10) as i64;
+                let b = (i % 7) as i64;
+                let r = clash.tuple("R", ts, &[("a", a.into())]).unwrap();
+                let s = clash
+                    .tuple("S", ts + 1, &[("a", a.into()), ("b", b.into())])
+                    .unwrap();
+                let t = clash.tuple("T", ts + 2, &[("b", b.into())]).unwrap();
+                clash.ingest("R", r).unwrap();
+                clash.ingest("S", s).unwrap();
+                clash.ingest("T", t).unwrap();
+            }
+            clash.snapshot().unwrap().total_results()
+        };
+        let local = deploy_and_run(RuntimeMode::Local);
+        assert!(local > 0);
+        for workers in [1usize, 2, 4] {
+            assert_eq!(
+                deploy_and_run(RuntimeMode::Parallel(workers)),
+                local,
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
     fn epoch_advancement_drives_adaptive_controller() {
         let mut clash = system_with_rst();
         clash.deploy(Strategy::GlobalIlp).unwrap();
         // Stream several seconds of data so multiple epoch boundaries pass.
         for i in 0..5_000u64 {
             let ts = i * 2;
-            let r = clash.tuple("R", ts, &[("a", ((i % 50) as i64).into())]).unwrap();
+            let r = clash
+                .tuple("R", ts, &[("a", ((i % 50) as i64).into())])
+                .unwrap();
             clash.ingest("R", r).unwrap();
             let s = clash
                 .tuple(
                     "S",
                     ts + 1,
-                    &[("a", ((i % 50) as i64).into()), ("b", ((i % 20) as i64).into())],
+                    &[
+                        ("a", ((i % 50) as i64).into()),
+                        ("b", ((i % 20) as i64).into()),
+                    ],
                 )
                 .unwrap();
             clash.ingest("S", s).unwrap();

@@ -118,15 +118,27 @@ mod tests {
 
     fn setup() -> (Catalog, Statistics) {
         let mut catalog = Catalog::new();
-        catalog.register("R", ["a"], Window::unbounded(), 1).unwrap();
-        catalog.register("S", ["a", "b"], Window::unbounded(), 1).unwrap();
-        catalog.register("T", ["b"], Window::unbounded(), 1).unwrap();
+        catalog
+            .register("R", ["a"], Window::unbounded(), 1)
+            .unwrap();
+        catalog
+            .register("S", ["a", "b"], Window::unbounded(), 1)
+            .unwrap();
+        catalog
+            .register("T", ["b"], Window::unbounded(), 1)
+            .unwrap();
         let mut stats = Statistics::new();
         stats.set_rate(RelationId::new(0), 100.0);
         stats.set_rate(RelationId::new(1), 100.0);
         stats.set_rate(RelationId::new(2), 100.0);
-        let rs = (catalog.attr("R", "a").unwrap(), catalog.attr("S", "a").unwrap());
-        let st = (catalog.attr("S", "b").unwrap(), catalog.attr("T", "b").unwrap());
+        let rs = (
+            catalog.attr("R", "a").unwrap(),
+            catalog.attr("S", "a").unwrap(),
+        );
+        let st = (
+            catalog.attr("S", "b").unwrap(),
+            catalog.attr("T", "b").unwrap(),
+        );
         stats.set_selectivity(rs.0, rs.1, 0.01); // |R ⋈ S| = 100
         stats.set_selectivity(st.0, st.1, 0.015); // |S ⋈ T| = 150
         (catalog, stats)
@@ -162,7 +174,9 @@ mod tests {
         let (mut catalog, stats) = setup();
         // Bounded 500 ms windows with a 1 s horizon halve the cardinality.
         let r = catalog.relation_id("R").unwrap();
-        catalog.set_window(r, Window::new(clash_common::Duration::from_millis(500))).unwrap();
+        catalog
+            .set_window(r, Window::new(clash_common::Duration::from_millis(500)))
+            .unwrap();
         let q = parse_query(&catalog, QueryId::new(0), "q", "R(a), S(a,b), T(b)").unwrap();
         let est = CardinalityEstimator::rate_based(&catalog, &stats);
         assert!((est.base_cardinality(&q, r) - 50.0).abs() < 1e-9);

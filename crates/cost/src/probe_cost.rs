@@ -150,9 +150,15 @@ mod tests {
     /// |R ⋈ S| = 100, |S ⋈ T| = 150.
     fn setup() -> (Catalog, Statistics) {
         let mut catalog = Catalog::new();
-        catalog.register("R", ["a"], Window::unbounded(), 1).unwrap();
-        catalog.register("S", ["a", "b"], Window::unbounded(), 1).unwrap();
-        catalog.register("T", ["b"], Window::unbounded(), 5).unwrap();
+        catalog
+            .register("R", ["a"], Window::unbounded(), 1)
+            .unwrap();
+        catalog
+            .register("S", ["a", "b"], Window::unbounded(), 1)
+            .unwrap();
+        catalog
+            .register("T", ["b"], Window::unbounded(), 5)
+            .unwrap();
         let mut stats = Statistics::new();
         for i in 0..3 {
             stats.set_rate(RelationId::new(i), 100.0);
@@ -175,7 +181,9 @@ mod tests {
     }
 
     fn unpartitioned(sets: &[RelationSet]) -> Vec<PartitionedStep> {
-        sets.iter().map(|s| PartitionedStep::unpartitioned(*s)).collect()
+        sets.iter()
+            .map(|s| PartitionedStep::unpartitioned(*s))
+            .collect()
     }
 
     #[test]
@@ -239,7 +247,11 @@ mod tests {
         assert_eq!(broadcast_factor(&q, &rs(&[0, 1]), &target), 1.0);
         // Partitioning by an attribute no predicate links to the head.
         let target_sb = PartitionedStep::partitioned(rs(&[1, 2]), s_b, 5);
-        assert_eq!(broadcast_factor(&q, &rs(&[0]), &target_sb), 5.0, "R knows a, not b");
+        assert_eq!(
+            broadcast_factor(&q, &rs(&[0]), &target_sb),
+            5.0,
+            "R knows a, not b"
+        );
         // Unpartitioned multi-worker stores always broadcast.
         let rr = PartitionedStep {
             relations: rs(&[2]),

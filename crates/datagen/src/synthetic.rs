@@ -53,7 +53,12 @@ impl SyntheticEnv {
             let attrs: Vec<String> = (0..config.attrs_per_relation)
                 .map(|a| format!("a{a}"))
                 .collect();
-            catalog.register(format!("S{i}"), attrs, Window::unbounded(), config.parallelism)?;
+            catalog.register(
+                format!("S{i}"),
+                attrs,
+                Window::unbounded(),
+                config.parallelism,
+            )?;
         }
         let mut stats = Statistics::new();
         stats.default_selectivity = 1.0 / config.rate;
@@ -272,15 +277,20 @@ mod tests {
     #[test]
     fn query_generation_is_deterministic_per_seed() {
         let cfg = SyntheticWorkloadConfig::default();
-        let a = SyntheticEnv::new(cfg, 7).unwrap().random_queries(5, 3).unwrap();
-        let b = SyntheticEnv::new(cfg, 7).unwrap().random_queries(5, 3).unwrap();
+        let a = SyntheticEnv::new(cfg, 7)
+            .unwrap()
+            .random_queries(5, 3)
+            .unwrap();
+        let b = SyntheticEnv::new(cfg, 7)
+            .unwrap()
+            .random_queries(5, 3)
+            .unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn adaptive_scenario_shifts_characteristics() {
-        let mut scenario =
-            AdaptiveScenario::new(100, Timestamp::from_millis(5_000), 11).unwrap();
+        let mut scenario = AdaptiveScenario::new(100, Timestamp::from_millis(5_000), 11).unwrap();
         assert_eq!(scenario.query.size(), 4);
         let (s_id, b_attr) = {
             let s_meta = scenario.catalog.relation_by_name("S").unwrap();

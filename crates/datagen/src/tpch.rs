@@ -83,7 +83,13 @@ impl TpchWorkload {
             ("partsupp", "suppkey", "supplier", "suppkey", 1.0 / 10_000.0),
             ("partsupp", "partkey", "part", "partkey", 1.0 / 200_000.0),
             ("orders", "custkey", "customer", "custkey", 1.0 / 150_000.0),
-            ("lineitem", "orderkey", "orders", "orderkey", 1.0 / 1_500_000.0),
+            (
+                "lineitem",
+                "orderkey",
+                "orders",
+                "orderkey",
+                1.0 / 1_500_000.0,
+            ),
             ("lineitem", "partkey", "part", "partkey", 1.0 / 200_000.0),
             ("lineitem", "suppkey", "supplier", "suppkey", 1.0 / 10_000.0),
         ];
@@ -366,7 +372,9 @@ mod tests {
     fn generator_produces_schema_conforming_tuples() {
         let w = TpchWorkload::new(1, Window::secs(60)).unwrap();
         let mut gen = TpchGenerator::new(0.01, 7);
-        for name in ["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"] {
+        for name in [
+            "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+        ] {
             let t = gen.tuple(&w, name).unwrap();
             let meta = w.catalog.relation_by_name(name).unwrap();
             assert_eq!(t.arity(), meta.schema.arity(), "{name} arity");

@@ -23,9 +23,7 @@ pub fn enumerate_optimal(model: &Model) -> Option<(Assignment, f64)> {
     );
     let mut best: Option<(Assignment, f64)> = None;
     for mask in 0u64..(1u64 << n) {
-        let assignment = Assignment::from_values(
-            (0..n).map(|i| (mask >> i) & 1 == 1).collect(),
-        );
+        let assignment = Assignment::from_values((0..n).map(|i| (mask >> i) & 1 == 1).collect());
         if !model.is_feasible(&assignment, 1e-9) {
             continue;
         }

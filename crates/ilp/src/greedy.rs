@@ -24,7 +24,10 @@ pub(crate) fn choice_constraints(model: &Model) -> Vec<usize> {
         .filter(|(_, c)| {
             c.sense == Sense::Eq
                 && (c.rhs - 1.0).abs() < 1e-9
-                && c.expr.terms().iter().all(|(_, coeff)| (coeff - 1.0).abs() < 1e-9)
+                && c.expr
+                    .terms()
+                    .iter()
+                    .all(|(_, coeff)| (coeff - 1.0).abs() < 1e-9)
         })
         .map(|(i, _)| i)
         .collect()
@@ -104,9 +107,7 @@ pub fn greedy(model: &Model) -> Option<(Assignment, f64)> {
                 best = Some((candidate, trial, objective));
             }
         }
-        let Some((_, next, _)) = best else {
-            return None;
-        };
+        let (_, next, _) = best?;
         domains = next;
     }
 
@@ -195,7 +196,10 @@ mod tests {
         assert!(m.is_feasible(&assignment, 1e-9));
         // Sharing ⟨S,T⟩ between both queries costs 100+75+75 = 250;
         // the locally optimal x1 would cost 100+50+100+75 = 325.
-        assert!(assignment.get(x2), "locally suboptimal but globally optimal order chosen");
+        assert!(
+            assignment.get(x2),
+            "locally suboptimal but globally optimal order chosen"
+        );
         assert!(!assignment.get(x1));
         assert!((objective - 250.0).abs() < 1e-9);
     }

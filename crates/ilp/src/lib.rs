@@ -32,4 +32,4 @@ pub mod solver;
 pub use enumerate::enumerate_optimal;
 pub use greedy::greedy;
 pub use model::{Assignment, Constraint, LinExpr, Model, ModelStats, Sense, VarId};
-pub use solver::{solve, SolveStatus, Solution, SolverConfig};
+pub use solver::{solve, Solution, SolveStatus, SolverConfig};

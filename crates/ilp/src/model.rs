@@ -228,7 +228,11 @@ impl Model {
 
     /// Convenience: `Σ vars = 1` (the "choose exactly one plan" constraints
     /// of Equation 2).
-    pub fn add_choose_one(&mut self, name: impl Into<String>, vars: impl IntoIterator<Item = VarId>) {
+    pub fn add_choose_one(
+        &mut self,
+        name: impl Into<String>,
+        vars: impl IntoIterator<Item = VarId>,
+    ) {
         self.add_constraint(name, LinExpr::sum(vars), Sense::Eq, 1.0);
     }
 
@@ -280,7 +284,13 @@ impl Model {
         self.objective
             .iter()
             .enumerate()
-            .map(|(i, c)| if assignment.get(VarId(i as u32)) { *c } else { 0.0 })
+            .map(|(i, c)| {
+                if assignment.get(VarId(i as u32)) {
+                    *c
+                } else {
+                    0.0
+                }
+            })
             .sum()
     }
 
@@ -354,7 +364,10 @@ mod tests {
     #[test]
     fn expression_merges_terms_and_evaluates() {
         let mut e = LinExpr::new();
-        e.add(VarId(0), 1.0).add(VarId(1), 2.0).add(VarId(0), 0.5).add(VarId(2), 0.0);
+        e.add(VarId(0), 1.0)
+            .add(VarId(1), 2.0)
+            .add(VarId(0), 0.5)
+            .add(VarId(2), 0.0);
         assert_eq!(e.len(), 2, "zero coefficients dropped, duplicates merged");
         let mut asg = Assignment::zeros(3);
         asg.set(VarId(0), true);

@@ -273,7 +273,10 @@ mod tests {
         let p = Propagator::new(&m);
         let mut d = Domains::free(3);
         d.fix(a, true);
-        assert!(matches!(p.propagate_from(&mut d, a), PropagationResult::Fixpoint(2)));
+        assert!(matches!(
+            p.propagate_from(&mut d, a),
+            PropagationResult::Fixpoint(2)
+        ));
         assert_eq!(d.get(b), Some(false));
         assert_eq!(d.get(c), Some(false));
     }
@@ -288,7 +291,10 @@ mod tests {
         let mut d = Domains::free(2);
         d.fix(a, false);
         d.fix(b, false);
-        assert!(matches!(p.propagate_all(&mut d), PropagationResult::Conflict(_)));
+        assert!(matches!(
+            p.propagate_all(&mut d),
+            PropagationResult::Conflict(_)
+        ));
     }
 
     #[test]
@@ -323,7 +329,10 @@ mod tests {
         let p = Propagator::new(&m);
         let mut d = Domains::free(2);
         d.fix(x, true);
-        assert!(matches!(p.propagate_from(&mut d, x), PropagationResult::Fixpoint(1)));
+        assert!(matches!(
+            p.propagate_from(&mut d, x),
+            PropagationResult::Fixpoint(1)
+        ));
         assert_eq!(d.get(y), Some(false));
     }
 }

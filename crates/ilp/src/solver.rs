@@ -185,7 +185,11 @@ impl<'a> SearchState<'a> {
         let mut counted: VarBitset = vec![0u64; words];
         for &ci in &self.choices {
             let c = &self.model.constraints()[ci];
-            if c.expr.terms().iter().any(|(v, _)| domains.get(*v) == Some(true)) {
+            if c.expr
+                .terms()
+                .iter()
+                .any(|(v, _)| domains.get(*v) == Some(true))
+            {
                 continue;
             }
             let mut group_min: Option<f64> = None;
@@ -247,7 +251,11 @@ impl<'a> SearchState<'a> {
         let mut best: Option<(VarId, usize)> = None;
         for &ci in &self.choices {
             let c = &self.model.constraints()[ci];
-            if c.expr.terms().iter().any(|(v, _)| domains.get(*v) == Some(true)) {
+            if c.expr
+                .terms()
+                .iter()
+                .any(|(v, _)| domains.get(*v) == Some(true))
+            {
                 continue;
             }
             let free: Vec<VarId> = c

@@ -68,8 +68,7 @@ impl StepKey {
     ) -> StepKey {
         let mut s = format!("start:{}", order.start.0);
         let mut covered = RelationSet::singleton(order.start);
-        for j in 0..=upto {
-            let store = &stores[j];
+        for store in stores.iter().take(upto + 1) {
             covered = covered.union(&store.relations);
             s.push_str(&format!(
                 "|{}@{}x{}",
@@ -86,7 +85,12 @@ impl StepKey {
         let mut preds: Vec<String> = query
             .predicates_within(&covered)
             .iter()
-            .map(|p| format!("{}.{}={}.{}", p.left.relation.0, p.left.attr.0, p.right.relation.0, p.right.attr.0))
+            .map(|p| {
+                format!(
+                    "{}.{}={}.{}",
+                    p.left.relation.0, p.left.attr.0, p.right.relation.0, p.right.attr.0
+                )
+            })
             .collect();
         preds.sort();
         s.push_str("|P:");
@@ -385,10 +389,12 @@ fn register_subquery_orders(
         );
         let best = orders
             .iter()
-            .flat_map(|o| {
-                decorate_order(estimator, catalog, queries, &subquery, o, config)
-            })
-            .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal));
+            .flat_map(|o| decorate_order(estimator, catalog, queries, &subquery, o, config))
+            .min_by(|a, b| {
+                a.cost
+                    .partial_cmp(&b.cost)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
         if let Some(best) = best {
             out.insert(key, best);
         }
@@ -403,10 +409,18 @@ mod tests {
 
     fn setup() -> (Catalog, Statistics, Vec<JoinQuery>) {
         let mut catalog = Catalog::new();
-        catalog.register("R", ["a"], Window::unbounded(), 1).unwrap();
-        catalog.register("S", ["a", "b"], Window::unbounded(), 5).unwrap();
-        catalog.register("T", ["b", "c"], Window::unbounded(), 5).unwrap();
-        catalog.register("U", ["c"], Window::unbounded(), 1).unwrap();
+        catalog
+            .register("R", ["a"], Window::unbounded(), 1)
+            .unwrap();
+        catalog
+            .register("S", ["a", "b"], Window::unbounded(), 5)
+            .unwrap();
+        catalog
+            .register("T", ["b", "c"], Window::unbounded(), 5)
+            .unwrap();
+        catalog
+            .register("U", ["c"], Window::unbounded(), 1)
+            .unwrap();
         let mut stats = Statistics::new();
         for r in catalog.iter().map(|m| m.id).collect::<Vec<_>>() {
             stats.set_rate(r, 100.0);
@@ -424,7 +438,11 @@ mod tests {
         for q in &queries {
             for start in q.relations.iter() {
                 let cands = set.candidates(q.id, start);
-                assert!(!cands.is_empty(), "no candidates for {} start {start}", q.name);
+                assert!(
+                    !cands.is_empty(),
+                    "no candidates for {} start {start}",
+                    q.name
+                );
                 for c in cands {
                     assert_eq!(c.query, q.id);
                     assert!(c.order.is_valid_for(q));

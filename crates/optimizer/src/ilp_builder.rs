@@ -74,7 +74,12 @@ impl Selection {
     }
 }
 
-fn step_var(model: &mut Model, step_vars: &mut HashMap<StepKey, (VarId, f64)>, key: &StepKey, cost: f64) -> VarId {
+fn step_var(
+    model: &mut Model,
+    step_vars: &mut HashMap<StepKey, (VarId, f64)>,
+    key: &StepKey,
+    cost: f64,
+) -> VarId {
     if let Some((v, _)) = step_vars.get(key) {
         return *v;
     }
@@ -92,10 +97,7 @@ pub fn build_ilp(candidates: &CandidateSet) -> IlpArtifacts {
 
     // Sub-query maintenance variables and their cost constraints.
     for (key, order) in &candidates.subquery_orders {
-        let x = model.add_binary(
-            format!("x'[mir={} start=R{}]", key.0, key.1 .0),
-            0.0,
-        );
+        let x = model.add_binary(format!("x'[mir={} start=R{}]", key.0, key.1 .0), 0.0);
         subquery_vars.insert(key.clone(), x);
         let mut expr = LinExpr::new();
         expr.add(x, -order.cost);
@@ -147,7 +149,10 @@ pub fn build_ilp(candidates: &CandidateSet) -> IlpArtifacts {
                         .map(|p| {
                             format!(
                                 "{}.{}={}.{}",
-                                p.left.relation.0, p.left.attr.0, p.right.relation.0, p.right.attr.0
+                                p.left.relation.0,
+                                p.left.attr.0,
+                                p.right.relation.0,
+                                p.right.attr.0
                             )
                         })
                         .collect();
@@ -233,10 +238,18 @@ mod tests {
 
     fn setup() -> (Catalog, Statistics, Vec<clash_query::JoinQuery>) {
         let mut catalog = Catalog::new();
-        catalog.register("R", ["a"], Window::unbounded(), 1).unwrap();
-        catalog.register("S", ["a", "b"], Window::unbounded(), 1).unwrap();
-        catalog.register("T", ["b", "c"], Window::unbounded(), 1).unwrap();
-        catalog.register("U", ["c"], Window::unbounded(), 1).unwrap();
+        catalog
+            .register("R", ["a"], Window::unbounded(), 1)
+            .unwrap();
+        catalog
+            .register("S", ["a", "b"], Window::unbounded(), 1)
+            .unwrap();
+        catalog
+            .register("T", ["b", "c"], Window::unbounded(), 1)
+            .unwrap();
+        catalog
+            .register("U", ["c"], Window::unbounded(), 1)
+            .unwrap();
         let mut stats = Statistics::new();
         for m in catalog.iter().map(|m| m.id).collect::<Vec<_>>() {
             stats.set_rate(m, 100.0);
@@ -271,7 +284,10 @@ mod tests {
             .iter()
             .filter(|c| c.name.starts_with("choose["))
             .count();
-        assert_eq!(choice_count, 6, "two 3-relation queries = 6 (query, start) groups");
+        assert_eq!(
+            choice_count, 6,
+            "two 3-relation queries = 6 (query, start) groups"
+        );
         assert!(artifacts.stats.variables > 0);
         assert_eq!(artifacts.stats.variables, artifacts.model.num_vars());
     }
@@ -291,8 +307,11 @@ mod tests {
         // Sharing must not be worse than fully individual optimization and
         // for this workload is strictly better.
         let individual: f64 = queries.iter().map(|q| cands.individual_cost(q.id)).sum();
-        assert!(selection.shared_cost < individual - 1e-6,
-            "shared {} vs individual {individual}", selection.shared_cost);
+        assert!(
+            selection.shared_cost < individual - 1e-6,
+            "shared {} vs individual {individual}",
+            selection.shared_cost
+        );
     }
 
     #[test]

@@ -38,21 +38,12 @@ impl Strategy {
 }
 
 /// Planner configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct PlannerConfig {
     /// Plan-space enumeration limits and cost model.
     pub plan_space: PlanSpaceConfig,
     /// ILP solver limits.
     pub solver: SolverConfig,
-}
-
-impl Default for PlannerConfig {
-    fn default() -> Self {
-        PlannerConfig {
-            plan_space: PlanSpaceConfig::default(),
-            solver: SolverConfig::default(),
-        }
-    }
 }
 
 /// Outcome of a planning run, including the measurements the experiments
@@ -111,7 +102,10 @@ impl<'a> Planner<'a> {
         let started = std::time::Instant::now();
         let candidates =
             enumerate_candidates(self.catalog, self.stats, queries, &self.config.plan_space);
-        let individual_cost: f64 = queries.iter().map(|q| candidates.individual_cost(q.id)).sum();
+        let individual_cost: f64 = queries
+            .iter()
+            .map(|q| candidates.individual_cost(q.id))
+            .sum();
 
         let (selection, model_stats, solve_status) = match strategy {
             Strategy::Independent | Strategy::Shared => {
@@ -182,10 +176,16 @@ fn greedy_per_query_selection(candidates: &CandidateSet) -> Result<Selection> {
             .iter()
             .filter(|c| c.stores.iter().all(|s| s.is_base()));
         let best = base_only
-            .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| {
+                a.cost
+                    .partial_cmp(&b.cost)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .or_else(|| {
                 cands.iter().min_by(|a, b| {
-                    a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal)
+                    a.cost
+                        .partial_cmp(&b.cost)
+                        .unwrap_or(std::cmp::Ordering::Equal)
                 })
             })
             .ok_or_else(|| {
@@ -222,10 +222,18 @@ mod tests {
 
     fn setup() -> (Catalog, Statistics, Vec<JoinQuery>) {
         let mut catalog = Catalog::new();
-        catalog.register("R", ["a"], Window::unbounded(), 1).unwrap();
-        catalog.register("S", ["a", "b"], Window::unbounded(), 2).unwrap();
-        catalog.register("T", ["b", "c"], Window::unbounded(), 2).unwrap();
-        catalog.register("U", ["c"], Window::unbounded(), 1).unwrap();
+        catalog
+            .register("R", ["a"], Window::unbounded(), 1)
+            .unwrap();
+        catalog
+            .register("S", ["a", "b"], Window::unbounded(), 2)
+            .unwrap();
+        catalog
+            .register("T", ["b", "c"], Window::unbounded(), 2)
+            .unwrap();
+        catalog
+            .register("U", ["c"], Window::unbounded(), 1)
+            .unwrap();
         let mut stats = Statistics::new();
         for m in catalog.iter().map(|m| m.id).collect::<Vec<_>>() {
             stats.set_rate(m, 100.0);

@@ -235,20 +235,21 @@ impl<'a> TopologyBuilder<'a> {
         owner: Option<QueryId>,
         terminal: Vec<OutputAction>,
     ) -> Option<SendTarget> {
-        let query = self.query(if order.query.0 >= u32::MAX - 1024 {
-            // Sub-query orders reference synthetic ids; their predicates are
-            // a subset of the owning query's, which is the one that spawned
-            // them. Any workload query containing the covered relations with
-            // the same predicates works for rule construction.
-            self.queries
-                .iter()
-                .find(|q| order.covered().is_subset(&q.relations))
-                .map(|q| q.id)
-                .unwrap_or(order.query)
-        } else {
-            order.query
-        })
-        .id;
+        let query = self
+            .query(if order.query.0 >= u32::MAX - 1024 {
+                // Sub-query orders reference synthetic ids; their predicates are
+                // a subset of the owning query's, which is the one that spawned
+                // them. Any workload query containing the covered relations with
+                // the same predicates works for rule construction.
+                self.queries
+                    .iter()
+                    .find(|q| order.covered().is_subset(&q.relations))
+                    .map(|q| q.id)
+                    .unwrap_or(order.query)
+            } else {
+                order.query
+            })
+            .id;
         let query = self.query(query);
 
         let mut first_target = None;
@@ -376,7 +377,11 @@ impl<'a> TopologyBuilder<'a> {
 
         // 2. Probe chains for the query probe orders (terminal: emit).
         for order in &selection.query_orders {
-            let owner = if self.share_stores { None } else { Some(order.query) };
+            let owner = if self.share_stores {
+                None
+            } else {
+                Some(order.query)
+            };
             let terminal = vec![OutputAction::Emit { query: order.query }];
             if order.order.is_empty() {
                 // Single-relation query: every arriving tuple is a result.
@@ -422,7 +427,7 @@ impl<'a> TopologyBuilder<'a> {
         }
 
         // 4. Ingestion into the base stores themselves (store rules).
-        for (_, (store_id, edge)) in &base_store_edges {
+        for (store_id, edge) in base_store_edges.values() {
             let descriptor = state.stores[store_id.index()].descriptor;
             let relation = descriptor
                 .relations
@@ -472,10 +477,18 @@ mod tests {
 
     fn setup() -> (Catalog, Statistics, Vec<JoinQuery>) {
         let mut catalog = Catalog::new();
-        catalog.register("R", ["a"], Window::unbounded(), 1).unwrap();
-        catalog.register("S", ["a", "b"], Window::unbounded(), 2).unwrap();
-        catalog.register("T", ["b", "c"], Window::unbounded(), 2).unwrap();
-        catalog.register("U", ["c"], Window::unbounded(), 1).unwrap();
+        catalog
+            .register("R", ["a"], Window::unbounded(), 1)
+            .unwrap();
+        catalog
+            .register("S", ["a", "b"], Window::unbounded(), 2)
+            .unwrap();
+        catalog
+            .register("T", ["b", "c"], Window::unbounded(), 2)
+            .unwrap();
+        catalog
+            .register("U", ["c"], Window::unbounded(), 1)
+            .unwrap();
         let mut stats = Statistics::new();
         for m in catalog.iter().map(|m| m.id).collect::<Vec<_>>() {
             stats.set_rate(m, 100.0);

@@ -199,7 +199,10 @@ mod tests {
         assert!(!g.is_connected(&RelationSet::EMPTY));
         let star = star4();
         assert!(star.is_connected(&rs(&[0, 1, 3])));
-        assert!(!star.is_connected(&rs(&[1, 2, 3])), "leaves only connect via center");
+        assert!(
+            !star.is_connected(&rs(&[1, 2, 3])),
+            "leaves only connect via center"
+        );
     }
 
     #[test]

@@ -77,10 +77,7 @@ pub fn enumerate_mirs(query: &JoinQuery, max_size: Option<usize>) -> Vec<Mir> {
         next.sort();
         next.dedup();
         // Only keep sets we have not seen yet.
-        let fresh: Vec<RelationSet> = next
-            .into_iter()
-            .filter(|s| !found.contains(s))
-            .collect();
+        let fresh: Vec<RelationSet> = next.into_iter().filter(|s| !found.contains(s)).collect();
         if fresh.is_empty() {
             break;
         }
@@ -135,7 +132,10 @@ mod tests {
         assert_eq!(mirs.len(), 4 * 5 / 2);
         assert!(mirs.contains(&Mir::new(rs(&[1, 2]))));
         assert!(mirs.contains(&Mir::new(rs(&[0, 1, 2, 3]))));
-        assert!(!mirs.iter().any(|m| m.relations == rs(&[0, 2])), "non-adjacent set excluded");
+        assert!(
+            !mirs.iter().any(|m| m.relations == rs(&[0, 2])),
+            "non-adjacent set excluded"
+        );
         assert!(!mirs.iter().any(|m| m.relations == rs(&[0, 3])));
     }
 

@@ -35,7 +35,11 @@ fn tokenize(input: &str) -> Result<Vec<Term>> {
         let close = rest[open..].find(')').map(|i| i + open).ok_or_else(|| {
             ClashError::invalid_query(format!("unclosed '(' in query fragment '{rest}'"))
         })?;
-        let relation = rest[..open].trim().trim_start_matches(',').trim().to_string();
+        let relation = rest[..open]
+            .trim()
+            .trim_start_matches(',')
+            .trim()
+            .to_string();
         if relation.is_empty() {
             return Err(ClashError::invalid_query(format!(
                 "missing relation name before '(' in '{rest}'"
@@ -46,7 +50,10 @@ fn tokenize(input: &str) -> Result<Vec<Term>> {
             .map(|a| a.trim().to_string())
             .filter(|a| !a.is_empty())
             .collect();
-        terms.push(Term { relation, attributes });
+        terms.push(Term {
+            relation,
+            attributes,
+        });
         rest = rest[close + 1..].trim().trim_start_matches(',').trim();
     }
     if terms.is_empty() {

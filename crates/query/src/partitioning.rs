@@ -139,7 +139,7 @@ mod tests {
         let cands = partition_candidates_for_workload(&queries, &rs(&[0, 1]));
         assert_eq!(cands, vec![attr(1, 1), attr(1, 2)]);
         // A store not contained in a query contributes nothing from it.
-        let cands = partition_candidates_for_workload(&queries[..1].to_vec(), &rs(&[0, 3]));
+        let cands = partition_candidates_for_workload(&queries[..1], &rs(&[0, 3]));
         assert!(cands.is_empty());
     }
 }

@@ -35,7 +35,11 @@ impl ProbeOrder {
     /// Creates a probe order from raw parts (no validation; use
     /// [`construct_probe_orders`] for validated construction).
     pub fn new(query: QueryId, start: RelationId, steps: Vec<RelationSet>) -> Self {
-        ProbeOrder { query, start, steps }
+        ProbeOrder {
+            query,
+            start,
+            steps,
+        }
     }
 
     /// Number of probe steps.
@@ -144,6 +148,7 @@ pub fn construct_probe_orders_for_start(
         return result;
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         query: &JoinQuery,
         graph: &crate::graph::QueryGraph,
@@ -170,7 +175,9 @@ pub fn construct_probe_orders_for_start(
             if new_head == target {
                 result.push(ProbeOrder::new(query.id, start, steps.clone()));
             } else {
-                recurse(query, graph, mirs, target, new_head, steps, start, result, cap);
+                recurse(
+                    query, graph, mirs, target, new_head, steps, start, result, cap,
+                );
             }
             steps.pop();
             if result.len() >= cap {
@@ -252,10 +259,8 @@ mod tests {
         let q = linear3();
         let mirs = enumerate_mirs(&q, None);
         let orders = construct_probe_orders_for_start(&q, &mirs, RelationId::new(0), None);
-        let expected_steps: Vec<Vec<RelationSet>> = vec![
-            vec![rs(&[1]), rs(&[2])],
-            vec![rs(&[1, 2])],
-        ];
+        let expected_steps: Vec<Vec<RelationSet>> =
+            vec![vec![rs(&[1]), rs(&[2])], vec![rs(&[1, 2])]];
         assert_eq!(orders.len(), 2);
         for e in expected_steps {
             assert!(orders.iter().any(|o| o.steps == e), "missing {:?}", e);

@@ -61,11 +61,7 @@ impl JoinQuery {
     }
 
     /// All predicates that connect the two disjoint relation sets.
-    pub fn predicates_between(
-        &self,
-        a: &RelationSet,
-        b: &RelationSet,
-    ) -> Vec<EquiPredicate> {
+    pub fn predicates_between(&self, a: &RelationSet, b: &RelationSet) -> Vec<EquiPredicate> {
         self.predicates
             .iter()
             .filter(|p| p.connects(a, b))
@@ -342,7 +338,11 @@ mod tests {
         let st = RelationSet::from_iter([rid(1), rid(2)]);
         assert_eq!(q.predicates_between(&r, &s).len(), 1);
         assert_eq!(q.predicates_between(&r, &st).len(), 1);
-        assert_eq!(q.predicates_between(&r, &RelationSet::singleton(rid(2))).len(), 0);
+        assert_eq!(
+            q.predicates_between(&r, &RelationSet::singleton(rid(2)))
+                .len(),
+            0
+        );
         assert_eq!(q.predicates_within(&st).len(), 1);
         assert_eq!(q.predicates_within(&q.relations).len(), 2);
         assert_eq!(q.predicates_within(&r).len(), 0);
@@ -364,7 +364,9 @@ mod tests {
     fn builder_resolves_names_through_catalog() {
         let mut catalog = Catalog::new();
         catalog.register("R", ["a"], Window::secs(5), 1).unwrap();
-        catalog.register("S", ["a", "b"], Window::secs(5), 1).unwrap();
+        catalog
+            .register("S", ["a", "b"], Window::secs(5), 1)
+            .unwrap();
         catalog.register("T", ["b"], Window::secs(5), 1).unwrap();
         let q = QueryBuilder::new(QueryId::new(3), "q", &catalog)
             .join("R", "a", "S", "a")

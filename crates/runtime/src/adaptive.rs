@@ -8,7 +8,7 @@
 //! stores that no longer serve any query are dropped by the engine when
 //! the new plan is installed (reference counting of Section VI-B).
 
-use crate::engine::LocalEngine;
+use crate::engine::EngineControl;
 use clash_catalog::{Catalog, Statistics};
 use clash_common::{Epoch, QueryId, Result};
 use clash_optimizer::{Planner, PlannerConfig, Strategy, TopologyPlan};
@@ -97,7 +97,15 @@ impl AdaptiveController {
     /// `current_epoch`. Gathers the statistics of the previous epoch,
     /// re-plans, and schedules / installs new configurations. Returns
     /// `true` when a new configuration was installed into the engine.
-    pub fn on_epoch(&mut self, engine: &mut LocalEngine, current_epoch: Epoch) -> Result<bool> {
+    /// Works on any engine exposing [`EngineControl`] — the sequential
+    /// `LocalEngine` or the sharded `ParallelEngine` (which must be
+    /// flushed by the driver before the call so the statistics are
+    /// current).
+    pub fn on_epoch<E: EngineControl>(
+        &mut self,
+        engine: &mut E,
+        current_epoch: Epoch,
+    ) -> Result<bool> {
         // Install a configuration that has become due.
         let mut installed = false;
         if let Some((effective, plan)) = self.pending.take() {
@@ -145,14 +153,16 @@ impl AdaptiveController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::EngineConfig;
+    use crate::engine::{EngineConfig, LocalEngine};
     use clash_common::{Duration, EpochConfig, Timestamp, TupleBuilder, Window};
     use clash_query::parse_query;
 
     fn setup() -> (Catalog, Vec<JoinQuery>, Statistics) {
         let mut catalog = Catalog::new();
         catalog.register("R", ["a"], Window::secs(5), 1).unwrap();
-        catalog.register("S", ["a", "b"], Window::secs(5), 1).unwrap();
+        catalog
+            .register("S", ["a", "b"], Window::secs(5), 1)
+            .unwrap();
         catalog.register("T", ["b"], Window::secs(5), 1).unwrap();
         let mut stats = Statistics::new();
         for m in catalog.iter().map(|m| m.id).collect::<Vec<_>>() {
@@ -167,7 +177,9 @@ mod tests {
         let s = catalog.relation_by_name("S").unwrap();
         for i in 0..n {
             let ts = Timestamp::from_millis(base_ts + i * 7);
-            let rt = TupleBuilder::new(&r.schema, ts).set("a", (i % 5) as i64).build();
+            let rt = TupleBuilder::new(&r.schema, ts)
+                .set("a", (i % 5) as i64)
+                .build();
             engine.ingest(r.id, rt).unwrap();
             let st = TupleBuilder::new(&s.schema, ts)
                 .set("a", (i % 5) as i64)
@@ -177,9 +189,7 @@ mod tests {
         }
     }
 
-    fn controller_and_engine(
-        enabled: bool,
-    ) -> (AdaptiveController, LocalEngine, Catalog) {
+    fn controller_and_engine(enabled: bool) -> (AdaptiveController, LocalEngine, Catalog) {
         let (catalog, queries, stats) = setup();
         let config = AdaptiveConfig {
             enabled,

@@ -46,6 +46,66 @@ impl Default for EngineConfig {
 /// Callback invoked for every emitted join result.
 pub type ResultSink = Box<dyn FnMut(QueryId, &Tuple) + Send>;
 
+/// The control surface the adaptive controller needs from an engine:
+/// swapping topology plans and reading the gathered statistics. Both the
+/// sequential [`LocalEngine`] and the sharded
+/// [`crate::parallel::ParallelEngine`] implement it, so epoch-based
+/// re-optimization (Section VI) works unchanged on either runtime.
+pub trait EngineControl {
+    /// Installs (or replaces) the running plan, carrying over matching
+    /// store state.
+    fn install_plan(&mut self, plan: TopologyPlan);
+
+    /// The currently installed plan.
+    fn plan(&self) -> &TopologyPlan;
+
+    /// The statistics gathered since the last pruning.
+    fn stats_collector(&self) -> &StatsCollector;
+
+    /// Mutable access to the statistics collector (pruning).
+    fn stats_collector_mut(&mut self) -> &mut StatsCollector;
+}
+
+/// Window of a store: the widest window of its member relations (so no
+/// potential join partner expires too early).
+pub(crate) fn store_window(catalog: &Catalog, relations: clash_common::RelationSet) -> Window {
+    relations
+        .iter()
+        .filter_map(|r| catalog.relation(r).ok().map(|m| m.window))
+        .max_by_key(|w| w.length)
+        .unwrap_or_default()
+}
+
+/// Indexed attributes of a store: every stored-side attribute of every
+/// probe-rule predicate registered at it.
+pub(crate) fn indexed_attrs(plan: &TopologyPlan, store: StoreId) -> Vec<clash_common::AttrRef> {
+    let mut out = Vec::new();
+    let descriptor = match plan.store(store) {
+        Some(s) => s.descriptor,
+        None => return out,
+    };
+    for ((sid, _), rules) in &plan.rules {
+        if *sid != store {
+            continue;
+        }
+        for rule in rules {
+            if let Rule::Probe { predicates, .. } = rule {
+                for p in predicates {
+                    let stored_side = if descriptor.relations.contains(p.left.relation) {
+                        p.left
+                    } else {
+                        p.right
+                    };
+                    if !out.contains(&stored_side) {
+                        out.push(stored_side);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Deterministic local execution engine for a [`TopologyPlan`].
 pub struct LocalEngine {
     catalog: Catalog,
@@ -95,46 +155,6 @@ impl LocalEngine {
         self.sink = Some(sink);
     }
 
-    /// Window of a store: the widest window of its member relations (so no
-    /// potential join partner expires too early).
-    fn store_window(catalog: &Catalog, relations: clash_common::RelationSet) -> Window {
-        relations
-            .iter()
-            .filter_map(|r| catalog.relation(r).ok().map(|m| m.window))
-            .max_by_key(|w| w.length)
-            .unwrap_or_default()
-    }
-
-    /// Indexed attributes of a store: every stored-side attribute of every
-    /// probe-rule predicate registered at it.
-    fn indexed_attrs(plan: &TopologyPlan, store: StoreId) -> Vec<clash_common::AttrRef> {
-        let mut out = Vec::new();
-        let descriptor = match plan.store(store) {
-            Some(s) => s.descriptor,
-            None => return out,
-        };
-        for ((sid, _), rules) in &plan.rules {
-            if *sid != store {
-                continue;
-            }
-            for rule in rules {
-                if let Rule::Probe { predicates, .. } = rule {
-                    for p in predicates {
-                        let stored_side = if descriptor.relations.contains(p.left.relation) {
-                            p.left
-                        } else {
-                            p.right
-                        };
-                        if !out.contains(&stored_side) {
-                            out.push(stored_side);
-                        }
-                    }
-                }
-            }
-        }
-        out
-    }
-
     /// Installs (or replaces) the plan. Stores whose descriptor key matches
     /// an existing store keep their state (Section VI-A: rewiring without
     /// losing results); stores that no longer appear are dropped
@@ -148,8 +168,8 @@ impl LocalEngine {
             .map(|(_, s)| (s.descriptor.key(), s))
             .collect();
         for def in &plan.stores {
-            let window = Self::store_window(&self.catalog, def.descriptor.relations);
-            let indexed = Self::indexed_attrs(&plan, def.id);
+            let window = store_window(&self.catalog, def.descriptor.relations);
+            let indexed = indexed_attrs(&plan, def.id);
             let instance = match existing.remove(&def.descriptor.key()) {
                 Some(mut s) => {
                     for attr in indexed {
@@ -380,6 +400,24 @@ impl LocalEngine {
     }
 }
 
+impl EngineControl for LocalEngine {
+    fn install_plan(&mut self, plan: TopologyPlan) {
+        LocalEngine::install_plan(self, plan);
+    }
+
+    fn plan(&self) -> &TopologyPlan {
+        LocalEngine::plan(self)
+    }
+
+    fn stats_collector(&self) -> &StatsCollector {
+        LocalEngine::stats_collector(self)
+    }
+
+    fn stats_collector_mut(&mut self) -> &mut StatsCollector {
+        LocalEngine::stats_collector_mut(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -510,8 +548,14 @@ mod tests {
         ingest_workload(&mut parallel, &catalog4);
         let a = single.snapshot();
         let b = parallel.snapshot();
-        assert_eq!(a.results_for(QueryId::new(0)), b.results_for(QueryId::new(0)));
-        assert_eq!(a.results_for(QueryId::new(1)), b.results_for(QueryId::new(1)));
+        assert_eq!(
+            a.results_for(QueryId::new(0)),
+            b.results_for(QueryId::new(0))
+        );
+        assert_eq!(
+            a.results_for(QueryId::new(1)),
+            b.results_for(QueryId::new(1))
+        );
     }
 
     #[test]
@@ -616,9 +660,7 @@ mod tests {
     fn unknown_relation_is_rejected() {
         let (mut engine, catalog) = engine_for(Strategy::Shared, 1);
         let t = tuple(&catalog, "R", 10, &[("a", 1)]);
-        assert!(engine
-            .ingest(clash_common::RelationId::new(42), t)
-            .is_err());
+        assert!(engine.ingest(clash_common::RelationId::new(42), t).is_err());
     }
 
     #[test]

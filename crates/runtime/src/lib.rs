@@ -15,6 +15,10 @@
 //!   maintains intermediate-result stores, emits join results and tracks
 //!   the metrics the evaluation reports (tuples sent, store memory,
 //!   per-result latency, throughput),
+//! * [`ParallelEngine`] — the sharded counterpart: one worker thread per
+//!   store shard, `partition_hash` routing over channels, and epoch
+//!   barriers that aggregate per-worker metrics/statistics while keeping
+//!   the result set identical to `LocalEngine` (see [`parallel`]),
 //! * [`StatsCollector`] — per-epoch sampling of arrival rates and
 //!   predicate selectivities (the "statistics gathering" of Fig. 5),
 //! * [`AdaptiveController`] — epoch-based re-optimization: statistics from
@@ -26,11 +30,13 @@
 pub mod adaptive;
 pub mod engine;
 pub mod metrics;
+pub mod parallel;
 pub mod stats_collector;
 pub mod store;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveController};
-pub use engine::{EngineConfig, LocalEngine, ResultSink};
+pub use engine::{EngineConfig, EngineControl, LocalEngine, ResultSink};
 pub use metrics::{EngineMetrics, LatencyStats, MetricsSnapshot};
+pub use parallel::ParallelEngine;
 pub use stats_collector::StatsCollector;
 pub use store::StoreInstance;

@@ -63,6 +63,22 @@ impl EngineMetrics {
     pub fn total_results(&self) -> u64 {
         self.results.values().sum()
     }
+
+    /// Merges another metrics accumulation into this one (used by the
+    /// parallel runtime to aggregate per-worker deltas at epoch barriers).
+    pub fn merge(&mut self, other: &EngineMetrics) {
+        self.tuples_ingested += other.tuples_ingested;
+        self.tuples_sent += other.tuples_sent;
+        self.broadcasts += other.broadcasts;
+        self.probes += other.probes;
+        for (query, n) in &other.results {
+            *self.results.entry(*query).or_default() += n;
+        }
+        self.latency_sum_us += other.latency_sum_us;
+        self.latency_max_us = self.latency_max_us.max(other.latency_max_us);
+        self.latency_count += other.latency_count;
+        self.busy += other.busy;
+    }
 }
 
 /// Immutable snapshot of the engine state used by experiment drivers.

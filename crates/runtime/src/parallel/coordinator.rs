@@ -1,0 +1,755 @@
+//! The [`ParallelEngine`] coordinator: ingests tuples, routes them to the
+//! worker threads, runs drain/collection barriers at epoch boundaries and
+//! aggregates per-worker metrics and statistics deltas.
+
+use crate::engine::{EngineConfig, EngineControl, ResultSink};
+use crate::metrics::{EngineMetrics, MetricsSnapshot};
+use crate::parallel::router::{fan_out, symmetric_stores, Progress, RootHandle};
+use crate::parallel::shard::StoreLayout;
+use crate::parallel::worker::{run_worker, Delivery, WorkerAck, WorkerCtx, WorkerMsg};
+use crate::stats_collector::StatsCollector;
+use clash_catalog::Catalog;
+use clash_common::{ClashError, EpochConfig, QueryId, Result, StoreId, Timestamp, Tuple};
+use clash_optimizer::TopologyPlan;
+use std::collections::HashSet;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration as StdDuration, Instant};
+
+/// Sharded, multi-threaded execution engine for a
+/// [`TopologyPlan`]: the parallel counterpart of
+/// [`crate::engine::LocalEngine`].
+///
+/// One worker thread is spawned per shard; store partitions (the
+/// catalog's `parallelism` field) map onto workers round-robin, so with as
+/// many workers as the widest store's parallelism every partition gets a
+/// dedicated thread, as in the paper's Storm deployment. Tuples are routed
+/// by [`crate::store::partition_hash`] over mpsc channels; per-worker
+/// metrics and statistics deltas are merged at collection barriers
+/// (`flush`/`snapshot`/`install_plan`), so the adaptive controller and the
+/// ILP re-optimization pipeline observe the same aggregate state as with
+/// the sequential engine.
+///
+/// Result-set equivalence with `LocalEngine` on identical input is
+/// maintained by the sequence-number probe guard and the symmetric
+/// pending-prober mechanism documented in [`crate::parallel`].
+pub struct ParallelEngine {
+    catalog: Catalog,
+    config: EngineConfig,
+    workers: usize,
+    plan: Arc<TopologyPlan>,
+    symmetric: Arc<HashSet<StoreId>>,
+    senders: Vec<Sender<WorkerMsg>>,
+    ack_rx: Receiver<WorkerAck>,
+    progress: Arc<Progress>,
+    handles: Vec<JoinHandle<()>>,
+    /// Next root sequence number (roots start at 1).
+    next_seq: u64,
+    metrics: EngineMetrics,
+    stats: StatsCollector,
+    results: Vec<(QueryId, Tuple)>,
+    sink: Option<ResultSink>,
+    forward_results: bool,
+    max_ts: Timestamp,
+    since_expiry: u64,
+    token: u64,
+    worker_store_totals: Vec<(usize, usize)>,
+    worker_busy: Vec<StdDuration>,
+    /// Wall-clock span from first ingest after a barrier to barrier end.
+    active_since: Option<Instant>,
+    wall_busy: StdDuration,
+}
+
+impl std::fmt::Debug for ParallelEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelEngine")
+            .field("workers", &self.workers)
+            .field("stores", &self.plan.num_stores())
+            .field("ingested", &self.metrics.tuples_ingested)
+            .finish()
+    }
+}
+
+impl ParallelEngine {
+    /// Creates an engine executing `plan` across `workers` threads.
+    /// `workers == 0` selects one worker per partition of the widest store
+    /// in the plan (honoring the catalog's parallelism).
+    pub fn new(catalog: Catalog, plan: TopologyPlan, config: EngineConfig, workers: usize) -> Self {
+        let workers = if workers == 0 {
+            auto_workers(&plan)
+        } else {
+            workers
+        };
+        let plan = Arc::new(plan);
+        let layout = Arc::new(StoreLayout::derive(&catalog, &plan));
+        let symmetric = Arc::new(symmetric_stores(&plan));
+        let progress = Arc::new(Progress::default());
+        let (ack_tx, ack_rx) = channel();
+        let mut senders = Vec::with_capacity(workers);
+        let mut receivers = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let forward_results = config.collect_results;
+        let mut handles = Vec::with_capacity(workers);
+        for (index, rx) in receivers.into_iter().enumerate() {
+            let ctx = WorkerCtx {
+                index,
+                workers,
+                senders: senders.clone(),
+                ack_tx: ack_tx.clone(),
+                progress: progress.clone(),
+                symmetric: symmetric.clone(),
+                epoch: config.epoch,
+                plan: plan.clone(),
+                layout: layout.clone(),
+                forward_results,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("clash-worker-{index}"))
+                .spawn(move || run_worker(ctx, rx))
+                .expect("spawn worker thread");
+            handles.push(handle);
+        }
+        ParallelEngine {
+            catalog,
+            config,
+            workers,
+            plan,
+            symmetric,
+            senders,
+            ack_rx,
+            progress,
+            handles,
+            next_seq: 1,
+            metrics: EngineMetrics::default(),
+            stats: StatsCollector::new(config.epoch.length),
+            results: Vec::new(),
+            sink: None,
+            forward_results,
+            max_ts: Timestamp::ZERO,
+            since_expiry: 0,
+            token: 0,
+            worker_store_totals: vec![(0, 0); workers],
+            worker_busy: vec![StdDuration::ZERO; workers],
+            active_since: None,
+            wall_busy: StdDuration::ZERO,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Epoch configuration in use.
+    pub fn epoch_config(&self) -> EpochConfig {
+        self.config.epoch
+    }
+
+    /// Registers a sink invoked (at barriers) for every emitted result.
+    /// Must be called before streaming for complete coverage.
+    pub fn set_sink(&mut self, sink: ResultSink) {
+        self.sink = Some(sink);
+        self.forward_results = true;
+        for s in &self.senders {
+            let _ = s.send(WorkerMsg::ForwardResults(true));
+        }
+    }
+
+    /// Ingests one input tuple, routing it to the owning shards. Join
+    /// results materialize asynchronously on the workers; they are counted
+    /// and collected at the next barrier ([`Self::flush`] /
+    /// [`Self::snapshot`]), so this always returns 0 pending results.
+    pub fn ingest(&mut self, relation: clash_common::RelationId, tuple: Tuple) -> Result<u64> {
+        if self.catalog.relation(relation).is_err() {
+            return Err(ClashError::unknown(format!("relation {relation}")));
+        }
+        if self.active_since.is_none() {
+            self.active_since = Some(Instant::now());
+        }
+        let started = Instant::now();
+        self.metrics.tuples_ingested += 1;
+        self.max_ts = self.max_ts.max(tuple.ts);
+        let epoch = self.config.epoch.epoch_of(tuple.ts);
+        self.stats.record_arrival(epoch, relation);
+
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let root = RootHandle::new(seq, self.progress.clone());
+        let mut batches: Vec<Vec<Delivery>> = (0..self.workers).map(|_| Vec::new()).collect();
+        for target in self.plan.ingest_for(relation) {
+            let Some((spec, deliveries)) = fan_out(
+                &self.plan,
+                self.workers,
+                *target,
+                tuple.clone(),
+                seq,
+                &root,
+                started,
+            ) else {
+                continue;
+            };
+            self.metrics.tuples_sent += spec.copies();
+            if spec.broadcast {
+                self.metrics.broadcasts += 1;
+            }
+            for (worker, delivery) in deliveries {
+                batches[worker].push(delivery);
+            }
+        }
+        root.release_bias();
+        for (worker, batch) in batches.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.senders[worker]
+                    .send(WorkerMsg::Batch(batch))
+                    .expect("worker alive");
+            }
+        }
+
+        self.since_expiry += 1;
+        if self.config.expire_every > 0 && self.since_expiry >= self.config.expire_every {
+            for s in &self.senders {
+                let _ = s.send(WorkerMsg::Expire { upto: self.max_ts });
+            }
+            self.since_expiry = 0;
+        }
+        Ok(0)
+    }
+
+    /// Blocks until every delivery of every ingested root has been
+    /// processed on every worker (the deterministic drain barrier).
+    /// Panics with a diagnostic if a worker thread has died — its roots
+    /// would never complete and the drain would otherwise spin forever.
+    fn barrier_drain(&mut self) {
+        let last = self.next_seq - 1;
+        let mut since_liveness_check = Instant::now();
+        while self.progress.watermark() < last {
+            self.progress.wait_for_change(StdDuration::from_millis(1));
+            if since_liveness_check.elapsed() >= StdDuration::from_secs(1) {
+                since_liveness_check = Instant::now();
+                if let Some(dead) = self.handles.iter().position(|h| h.is_finished()) {
+                    panic!(
+                        "parallel engine drain barrier failed: worker {dead} died \
+                         (watermark {} of {last})",
+                        self.progress.watermark()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Runs a collection round: every worker replies with its deltas,
+    /// which are merged into the coordinator aggregates. Must only be
+    /// called after [`Self::barrier_drain`]. Returns the number of tuples
+    /// removed when `expire_upto` is set.
+    fn collect(&mut self, expire_upto: Option<Timestamp>) -> usize {
+        self.token += 1;
+        let token = self.token;
+        for s in &self.senders {
+            s.send(WorkerMsg::Collect { token, expire_upto })
+                .expect("worker alive");
+        }
+        self.await_acks(token)
+    }
+
+    /// Receives one ack per worker for `token`, merging all deltas.
+    fn await_acks(&mut self, token: u64) -> usize {
+        let mut acked = vec![false; self.workers];
+        let mut expired = 0;
+        while acked.iter().any(|a| !a) {
+            match self.ack_rx.recv_timeout(StdDuration::from_secs(30)) {
+                Ok(ack) => {
+                    assert_eq!(ack.token, token, "barrier tokens are strictly ordered");
+                    acked[ack.worker] = true;
+                    expired += ack.expired;
+                    self.worker_busy[ack.worker] += ack.metrics.busy;
+                    self.metrics.merge(&ack.metrics);
+                    self.stats.merge(ack.stats);
+                    self.worker_store_totals[ack.worker] = (ack.store_tuples, ack.store_bytes);
+                    for (query, tuple) in ack.results {
+                        if let Some(sink) = &mut self.sink {
+                            sink(query, &tuple);
+                        }
+                        if self.config.collect_results {
+                            self.results.push((query, tuple));
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    panic!("parallel engine barrier timed out: a worker thread died");
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("parallel engine barrier failed: all workers gone");
+                }
+            }
+        }
+        expired
+    }
+
+    /// Drains all in-flight work and merges every worker's deltas: the
+    /// epoch barrier. After `flush` the coordinator's metrics, statistics
+    /// and collected results reflect everything ingested so far.
+    pub fn flush(&mut self) {
+        self.barrier_drain();
+        self.collect(None);
+        if let Some(started) = self.active_since.take() {
+            self.wall_busy += started.elapsed();
+        }
+    }
+
+    /// Expires out-of-window tuples from every shard (drains first so the
+    /// count is deterministic).
+    pub fn expire_stores(&mut self) -> usize {
+        self.barrier_drain();
+        let expired = self.collect(Some(self.max_ts));
+        if let Some(started) = self.active_since.take() {
+            self.wall_busy += started.elapsed();
+        }
+        expired
+    }
+
+    /// Installs (or replaces) the plan after a drain barrier. Shard state
+    /// with matching descriptor keys is carried over, mirroring the
+    /// sequential engine's rewiring (Section VI-A/B).
+    pub fn install_plan(&mut self, plan: TopologyPlan) {
+        self.flush();
+        let plan = Arc::new(plan);
+        let layout = Arc::new(StoreLayout::derive(&self.catalog, &plan));
+        self.symmetric = Arc::new(symmetric_stores(&plan));
+        self.plan = plan.clone();
+        self.token += 1;
+        let token = self.token;
+        for s in &self.senders {
+            s.send(WorkerMsg::Install {
+                token,
+                plan: plan.clone(),
+                layout: layout.clone(),
+                symmetric: self.symmetric.clone(),
+            })
+            .expect("worker alive");
+        }
+        self.await_acks(token);
+    }
+
+    /// The currently installed plan.
+    pub fn plan(&self) -> &TopologyPlan {
+        &self.plan
+    }
+
+    /// Aggregated statistics as of the last barrier.
+    pub fn stats_collector(&self) -> &StatsCollector {
+        &self.stats
+    }
+
+    /// Mutable access to the aggregated statistics (pruning).
+    pub fn stats_collector_mut(&mut self) -> &mut StatsCollector {
+        &mut self.stats
+    }
+
+    /// Results collected up to the last barrier (requires
+    /// `collect_results`). Order across workers is nondeterministic; sort
+    /// before comparing.
+    pub fn results(&self) -> &[(QueryId, Tuple)] {
+        &self.results
+    }
+
+    /// Clears collected results (between experiment phases).
+    pub fn clear_results(&mut self) {
+        self.results.clear();
+    }
+
+    /// Total tuples held across all shards (as of the last barrier).
+    pub fn store_tuples(&self) -> usize {
+        self.worker_store_totals.iter().map(|(t, _)| t).sum()
+    }
+
+    /// Total bytes held across all shards (as of the last barrier).
+    pub fn store_bytes(&self) -> usize {
+        self.worker_store_totals.iter().map(|(_, b)| b).sum()
+    }
+
+    /// Per-worker processing time accumulated so far (as of the last
+    /// barrier). Shows how evenly the shards split the work — on a
+    /// multi-core machine the wall-clock win tracks this distribution.
+    pub fn worker_busy(&self) -> &[StdDuration] {
+        &self.worker_busy
+    }
+
+    /// Runs a full barrier and returns the aggregated metrics snapshot.
+    /// `busy_secs` (and thus `throughput_tps`) is wall-clock time between
+    /// the first ingest and the end of the drain — the end-to-end rate an
+    /// external observer sees, which is the fair comparison against the
+    /// sequential engine's processing time.
+    pub fn snapshot(&mut self) -> MetricsSnapshot {
+        self.flush();
+        let busy = self.wall_busy.as_secs_f64();
+        MetricsSnapshot {
+            tuples_ingested: self.metrics.tuples_ingested,
+            tuples_sent: self.metrics.tuples_sent,
+            broadcasts: self.metrics.broadcasts,
+            probes: self.metrics.probes,
+            results: self
+                .metrics
+                .results
+                .iter()
+                .map(|(q, n)| (q.0, *n))
+                .collect(),
+            latency: self.metrics.latency(),
+            store_bytes: self.store_bytes(),
+            store_tuples: self.store_tuples(),
+            num_stores: self.plan.num_stores(),
+            busy_secs: busy,
+            throughput_tps: if busy > 0.0 {
+                self.metrics.tuples_ingested as f64 / busy
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Resets metrics and collected results without touching shard state.
+    pub fn reset_metrics(&mut self) {
+        self.flush();
+        self.metrics = EngineMetrics::default();
+        self.results.clear();
+        self.wall_busy = StdDuration::ZERO;
+        self.worker_busy = vec![StdDuration::ZERO; self.workers];
+    }
+}
+
+impl EngineControl for ParallelEngine {
+    fn install_plan(&mut self, plan: TopologyPlan) {
+        ParallelEngine::install_plan(self, plan);
+    }
+
+    fn plan(&self) -> &TopologyPlan {
+        ParallelEngine::plan(self)
+    }
+
+    fn stats_collector(&self) -> &StatsCollector {
+        ParallelEngine::stats_collector(self)
+    }
+
+    fn stats_collector_mut(&mut self) -> &mut StatsCollector {
+        ParallelEngine::stats_collector_mut(self)
+    }
+}
+
+impl Drop for ParallelEngine {
+    fn drop(&mut self) {
+        for s in &self.senders {
+            let _ = s.send(WorkerMsg::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One worker per partition of the widest store (minimum 1).
+pub fn auto_workers(plan: &TopologyPlan) -> usize {
+    plan.stores
+        .iter()
+        .map(|s| s.descriptor.parallelism)
+        .max()
+        .unwrap_or(1)
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::LocalEngine;
+    use clash_catalog::Statistics;
+    use clash_common::{TupleBuilder, Window};
+    use clash_optimizer::{Planner, Strategy};
+    use clash_query::parse_query;
+
+    /// The running example of the engine tests: R(a), S(a,b), T(b) and a
+    /// second query sharing S and T.
+    fn setup(parallelism: usize) -> (Catalog, Vec<clash_query::JoinQuery>, Statistics) {
+        let mut catalog = Catalog::new();
+        catalog.register("R", ["a"], Window::secs(3600), 1).unwrap();
+        catalog
+            .register("S", ["a", "b"], Window::secs(3600), parallelism)
+            .unwrap();
+        catalog
+            .register("T", ["b", "c"], Window::secs(3600), parallelism)
+            .unwrap();
+        catalog.register("U", ["c"], Window::secs(3600), 1).unwrap();
+        let mut stats = Statistics::new();
+        for m in catalog.iter().map(|m| m.id).collect::<Vec<_>>() {
+            stats.set_rate(m, 100.0);
+        }
+        let q1 = parse_query(&catalog, QueryId::new(0), "q1", "R(a), S(a,b), T(b)").unwrap();
+        let q2 = parse_query(&catalog, QueryId::new(1), "q2", "S(b), T(b,c), U(c)").unwrap();
+        (catalog, vec![q1, q2], stats)
+    }
+
+    fn tuple(catalog: &Catalog, relation: &str, ts: u64, values: &[(&str, i64)]) -> Tuple {
+        let meta = catalog.relation_by_name(relation).unwrap();
+        let mut b = TupleBuilder::new(&meta.schema, Timestamp::from_millis(ts));
+        for (attr, v) in values {
+            b = b.set(attr, *v);
+        }
+        b.build()
+    }
+
+    fn workload(catalog: &Catalog) -> Vec<(clash_common::RelationId, Tuple)> {
+        let mut ts = 0u64;
+        let mut next_ts = || {
+            ts += 10;
+            ts
+        };
+        let mut stream = Vec::new();
+        for a in 1..=3i64 {
+            stream.push((
+                catalog.relation_id("R").unwrap(),
+                tuple(catalog, "R", next_ts(), &[("a", a)]),
+            ));
+        }
+        for (a, b) in [(1, 10), (1, 20), (2, 10), (9, 30)] {
+            stream.push((
+                catalog.relation_id("S").unwrap(),
+                tuple(catalog, "S", next_ts(), &[("a", a), ("b", b)]),
+            ));
+        }
+        for (b, c) in [(10, 100), (20, 100), (30, 200)] {
+            stream.push((
+                catalog.relation_id("T").unwrap(),
+                tuple(catalog, "T", next_ts(), &[("b", b), ("c", c)]),
+            ));
+        }
+        for c in [100i64, 300] {
+            stream.push((
+                catalog.relation_id("U").unwrap(),
+                tuple(catalog, "U", next_ts(), &[("c", c)]),
+            ));
+        }
+        stream
+    }
+
+    fn engines_agree(strategy: Strategy, parallelism: usize, workers: usize) {
+        let (catalog, queries, stats) = setup(parallelism);
+        let planner = Planner::with_defaults(&catalog, &stats);
+        let report = planner.plan(&queries, strategy).unwrap();
+        let config = EngineConfig {
+            collect_results: true,
+            ..EngineConfig::default()
+        };
+        let mut local = LocalEngine::new(catalog.clone(), report.plan.clone(), config);
+        let mut parallel = ParallelEngine::new(catalog.clone(), report.plan, config, workers);
+        for (relation, t) in workload(&catalog) {
+            local.ingest(relation, t.clone()).unwrap();
+            parallel.ingest(relation, t).unwrap();
+        }
+        let ls = local.snapshot();
+        let ps = parallel.snapshot();
+        assert_eq!(
+            ls.results_for(QueryId::new(0)),
+            ps.results_for(QueryId::new(0)),
+            "{strategy:?} q1 with {workers} workers"
+        );
+        assert_eq!(
+            ls.results_for(QueryId::new(1)),
+            ps.results_for(QueryId::new(1)),
+            "{strategy:?} q2 with {workers} workers"
+        );
+        assert_eq!(ls.tuples_sent, ps.tuples_sent, "{strategy:?} probe cost");
+        assert_eq!(ls.broadcasts, ps.broadcasts, "{strategy:?} broadcasts");
+        assert_eq!(ls.probes, ps.probes, "{strategy:?} probe count");
+        assert_eq!(ls.store_tuples, ps.store_tuples, "{strategy:?} store state");
+        // The emitted result multisets are identical (order differs).
+        let mut lr: Vec<String> = local
+            .results()
+            .iter()
+            .map(|(q, t)| format!("{q}{t}"))
+            .collect();
+        let mut pr: Vec<String> = parallel
+            .results()
+            .iter()
+            .map(|(q, t)| format!("{q}{t}"))
+            .collect();
+        lr.sort();
+        pr.sort();
+        assert_eq!(lr, pr, "{strategy:?} result multisets");
+    }
+
+    #[test]
+    fn matches_local_engine_across_strategies_and_worker_counts() {
+        for strategy in [Strategy::Independent, Strategy::Shared, Strategy::GlobalIlp] {
+            for (parallelism, workers) in [(1, 1), (2, 2), (4, 4), (4, 2), (4, 8)] {
+                engines_agree(strategy, parallelism, workers);
+            }
+        }
+    }
+
+    #[test]
+    fn gathered_statistics_match_local_engine() {
+        // The adaptive controller consumes StatsCollector snapshots; the
+        // merged per-worker deltas must yield the same arrival rates and
+        // (for broadcast-probed stores, exactly; for hashed probes, up to
+        // shard-balance extrapolation) the same selectivities.
+        let (catalog, queries, stats) = setup(4);
+        let planner = Planner::with_defaults(&catalog, &stats);
+        let report = planner.plan(&queries, Strategy::Shared).unwrap();
+        let config = EngineConfig::default();
+        let mut local = LocalEngine::new(catalog.clone(), report.plan.clone(), config);
+        let mut parallel = ParallelEngine::new(catalog.clone(), report.plan, config, 4);
+        // A few hundred tuples so the hashed-probe whole-store
+        // extrapolation (shard size x sharing workers) converges; on toy
+        // streams single partitions hold 0-2 tuples and the estimate is
+        // dominated by sampling noise.
+        let mut ts = 0u64;
+        for i in 0..200i64 {
+            ts += 7;
+            for (name, vals) in [
+                ("R", vec![("a", i % 17)]),
+                ("S", vec![("a", i % 17), ("b", i % 13)]),
+                ("T", vec![("b", i % 13), ("c", i % 11)]),
+                ("U", vec![("c", i % 11)]),
+            ] {
+                let t = tuple(&catalog, name, ts, &vals);
+                let id = catalog.relation_id(name).unwrap();
+                local.ingest(id, t.clone()).unwrap();
+                parallel.ingest(id, t).unwrap();
+            }
+        }
+        parallel.flush();
+        let prior = Statistics::new();
+        let ls = local
+            .stats_collector()
+            .snapshot(clash_common::Epoch(0), &prior);
+        let ps = parallel
+            .stats_collector()
+            .snapshot(clash_common::Epoch(0), &prior);
+        for meta in catalog.iter() {
+            assert!(
+                (ls.rate(meta.id) - ps.rate(meta.id)).abs() < 1e-9,
+                "rate of {} diverges",
+                meta.schema.name
+            );
+        }
+        for (l, r) in [
+            (
+                catalog.attr("R", "a").unwrap(),
+                catalog.attr("S", "a").unwrap(),
+            ),
+            (
+                catalog.attr("S", "b").unwrap(),
+                catalog.attr("T", "b").unwrap(),
+            ),
+            (
+                catalog.attr("T", "c").unwrap(),
+                catalog.attr("U", "c").unwrap(),
+            ),
+        ] {
+            let lsel = ls.selectivity(l, r);
+            let psel = ps.selectivity(l, r);
+            assert!(
+                psel > lsel * 0.5 && psel < lsel * 2.0 + 1e-12,
+                "selectivity {l}={r} diverges: local {lsel}, parallel {psel}"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_workers_follows_catalog_parallelism() {
+        let (catalog, queries, stats) = setup(4);
+        let planner = Planner::with_defaults(&catalog, &stats);
+        let report = planner.plan(&queries, Strategy::Shared).unwrap();
+        assert_eq!(auto_workers(&report.plan), 4);
+        let engine = ParallelEngine::new(catalog, report.plan, EngineConfig::default(), 0);
+        assert_eq!(engine.workers(), 4);
+    }
+
+    #[test]
+    fn sink_receives_all_results_at_barriers() {
+        let (catalog, queries, stats) = setup(2);
+        let planner = Planner::with_defaults(&catalog, &stats);
+        let report = planner.plan(&queries, Strategy::Shared).unwrap();
+        let mut engine =
+            ParallelEngine::new(catalog.clone(), report.plan, EngineConfig::default(), 2);
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let c2 = counter.clone();
+        engine.set_sink(Box::new(move |_, _| {
+            c2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }));
+        for (relation, t) in workload(&catalog) {
+            engine.ingest(relation, t).unwrap();
+        }
+        let snap = engine.snapshot();
+        assert_eq!(
+            counter.load(std::sync::atomic::Ordering::Relaxed),
+            snap.total_results()
+        );
+    }
+
+    #[test]
+    fn install_plan_preserves_matching_store_state() {
+        let (catalog, queries, stats) = setup(2);
+        let planner = Planner::with_defaults(&catalog, &stats);
+        let report = planner.plan(&queries, Strategy::Shared).unwrap();
+        let mut engine = ParallelEngine::new(
+            catalog.clone(),
+            report.plan.clone(),
+            EngineConfig::default(),
+            2,
+        );
+        for (relation, t) in workload(&catalog) {
+            engine.ingest(relation, t).unwrap();
+        }
+        engine.flush();
+        let before = engine.store_tuples();
+        assert!(before > 0);
+        engine.install_plan(report.plan);
+        assert_eq!(engine.store_tuples(), before, "same plan keeps state");
+        engine.install_plan(TopologyPlan::default());
+        assert_eq!(engine.store_tuples(), 0, "empty plan drops all stores");
+    }
+
+    #[test]
+    fn expiry_removes_out_of_window_state() {
+        let (catalog, queries, stats) = setup(2);
+        let mut catalog = catalog;
+        for id in catalog.iter().map(|m| m.id).collect::<Vec<_>>() {
+            catalog.set_window(id, Window::secs(1)).unwrap();
+        }
+        let planner = Planner::with_defaults(&catalog, &stats);
+        let report = planner.plan(&queries, Strategy::Shared).unwrap();
+        let mut engine = ParallelEngine::new(
+            catalog.clone(),
+            report.plan,
+            EngineConfig {
+                expire_every: 0,
+                ..EngineConfig::default()
+            },
+            2,
+        );
+        let s_id = catalog.relation_id("S").unwrap();
+        for i in 0..50u64 {
+            let t = tuple(&catalog, "S", i * 100, &[("a", 1), ("b", 1)]);
+            engine.ingest(s_id, t).unwrap();
+        }
+        engine.flush();
+        let before = engine.store_tuples();
+        let removed = engine.expire_stores();
+        assert!(removed > 0);
+        assert!(engine.store_tuples() < before);
+    }
+
+    #[test]
+    fn unknown_relation_is_rejected() {
+        let (catalog, queries, stats) = setup(1);
+        let planner = Planner::with_defaults(&catalog, &stats);
+        let report = planner.plan(&queries, Strategy::Shared).unwrap();
+        let mut engine =
+            ParallelEngine::new(catalog.clone(), report.plan, EngineConfig::default(), 2);
+        let t = tuple(&catalog, "R", 10, &[("a", 1)]);
+        assert!(engine.ingest(clash_common::RelationId::new(42), t).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Sharded parallel runtime: executes [`clash_optimizer::TopologyPlan`]s
+//! across real worker threads.
+//!
+//! The paper deploys its topologies on an Apache Storm cluster where every
+//! store partition is a parallel task. The sequential
+//! [`crate::LocalEngine`] collapses that into one thread; this module
+//! restores genuine parallelism while keeping the results **bit-identical**
+//! to sequential execution on the same input:
+//!
+//! * [`coordinator::ParallelEngine`] — the public engine. Consumes the
+//!   same `TopologyPlan`, spawns one worker thread per shard (store
+//!   partitions map onto workers round-robin, honoring the catalog's
+//!   `parallelism` field), and aggregates per-worker metrics and
+//!   statistics at epoch barriers so the adaptive controller keeps
+//!   working unchanged.
+//! * [`router`] — partition routing (the same `partition_hash` as the
+//!   stores) plus the ordering machinery: per-root completion counters, a
+//!   global completion watermark, and the static analysis of which rule
+//!   keys need deferral.
+//! * [`worker`] — the thread loop and message protocol (deliveries,
+//!   collection barriers, plan installs, expiry).
+//! * [`shard`] — per-worker store partitions and rule execution
+//!   (Algorithm 3/4 scoped to owned partitions, with epoch-scoped state).
+//!
+//! # Why the results are exactly those of `LocalEngine`
+//!
+//! Sequential execution processes each input tuple (a *root*) to
+//! completion before the next; a probe therefore sees exactly the tuples
+//! stored by earlier roots (further filtered by timestamp and window).
+//! Sharded execution reproduces this through three mechanisms:
+//!
+//! 1. **Per-partition FIFO.** The coordinator fans out roots in arrival
+//!    order and every (store, partition) is owned by exactly one worker,
+//!    so direct deliveries to a partition arrive in arrival order.
+//!    Forwarded deliveries inherit the order transitively: an mpsc send
+//!    that happens-after another send is dequeued after it.
+//! 2. **Sequence guard.** Stored tuples carry the sequence number of
+//!    their root; probes skip tuples with `stored_seq >= probe_seq`.
+//!    A shard that races ahead may observe *later* insertions, but the
+//!    guard excludes them — matching what the sequential engine would
+//!    have seen.
+//! 3. **Symmetric pending probers.** Stores fed by `Forward` actions
+//!    (materialized intermediate results) receive insertions from worker
+//!    threads, not from the coordinator, so FIFO does not order them
+//!    against probes of *later* roots. Probes at such stores therefore
+//!    run immediately against the current state *and* stay registered as
+//!    pending probers beside the partition; a late insert with a smaller
+//!    sequence number retro-matches the registered probers locally and
+//!    emits the missed results through the same outputs. Each
+//!    (probe, insert) pair matches exactly once — at probe time if the
+//!    insert was already applied, retroactively otherwise — and nothing
+//!    ever waits. The completion watermark only garbage-collects probers
+//!    that can no longer receive late inserts.
+
+pub(crate) mod coordinator;
+pub(crate) mod router;
+pub(crate) mod shard;
+pub(crate) mod worker;
+
+pub use coordinator::{auto_workers, ParallelEngine};

@@ -1,0 +1,340 @@
+//! Partition routing and ordering bookkeeping for the sharded runtime.
+//!
+//! Routing itself reuses the exact decisions of the sequential engine: a
+//! delivery either hashes its routing-key attribute to one partition
+//! ([`partition_hash`]) or broadcasts to every partition of the target
+//! store (the χ factor of Equation 1). Partitions are mapped onto worker
+//! threads round-robin (`partition % workers`), so with `workers` equal to
+//! a store's catalog parallelism every store partition gets its own
+//! dedicated thread.
+//!
+//! The module also owns the two pieces of machinery that make sharded
+//! execution *bit-identical* to sequential execution:
+//!
+//! 1. **Root handles** ([`RootHandle`]) count the outstanding deliveries
+//!    of each ingested input tuple (its "root"). When the count reaches
+//!    zero the root is complete and the global completion
+//!    [`Progress`] watermark advances: all roots up to the watermark have
+//!    fully drained everywhere.
+//! 2. **Symmetric stores** ([`symmetric_stores`]): stores fed by
+//!    `Forward` actions (materialized intermediate results) get their
+//!    inserts from racing worker threads, so a probe may arrive before an
+//!    insert it should observe. Probes at those stores register as
+//!    pending probers in the shard and late inserts retro-match them —
+//!    see `shard` — so nothing ever waits and every (probe, insert) pair
+//!    is matched exactly once. Everything else pipelines freely, because
+//!    channel FIFO order plus the router's arrival-order fan-out already
+//!    serialize every (store, partition) consistently with sequential
+//!    execution.
+//!
+//! The watermark doubles as the garbage-collection horizon for pending
+//! probers and as the drain condition for barriers.
+
+use crate::parallel::worker::Delivery;
+use crate::store::partition_hash;
+use clash_common::{StoreId, Tuple};
+use clash_optimizer::{OutputAction, Rule, SendTarget, TopologyPlan};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// How a delivery maps onto the partitions of its target store.
+#[derive(Debug, Clone)]
+pub(crate) struct RouteSpec {
+    /// Partitions a probe rule must inspect (one when hashed, all when
+    /// broadcast).
+    pub probe_partitions: Vec<usize>,
+    /// Partition a store rule inserts into.
+    pub store_partition: usize,
+    /// `true` when the delivery is a broadcast across > 1 partitions.
+    pub broadcast: bool,
+}
+
+impl RouteSpec {
+    /// Number of partition copies this delivery sends (the probe-cost
+    /// `tuples_sent` unit of the sequential engine).
+    pub fn copies(&self) -> u64 {
+        self.probe_partitions.len() as u64
+    }
+}
+
+/// Resolves the partitions of `target` that `tuple` must reach, mirroring
+/// the sequential engine: hash the routing key when the tuple carries it,
+/// otherwise broadcast (and store into the partition-attribute partition).
+pub(crate) fn resolve(
+    plan: &TopologyPlan,
+    target: &SendTarget,
+    tuple: &Tuple,
+) -> Option<RouteSpec> {
+    let def = plan.store(target.store)?;
+    let parallelism = def.descriptor.parallelism.max(1);
+    match target.routing_key.and_then(|a| tuple.get(&a)) {
+        Some(value) => {
+            let p = partition_hash(value, parallelism);
+            Some(RouteSpec {
+                probe_partitions: vec![p],
+                store_partition: p,
+                broadcast: false,
+            })
+        }
+        None => {
+            let store_partition = def
+                .descriptor
+                .partition
+                .and_then(|a| tuple.get(&a))
+                .map(|v| partition_hash(v, parallelism))
+                .unwrap_or(0);
+            Some(RouteSpec {
+                probe_partitions: (0..parallelism).collect(),
+                store_partition,
+                broadcast: parallelism > 1,
+            })
+        }
+    }
+}
+
+/// The worker thread owning a partition: round-robin assignment.
+pub(crate) fn owner_of(partition: usize, workers: usize) -> usize {
+    partition % workers
+}
+
+/// Splits the route of `target` into per-worker deliveries, registering
+/// each with the root's completion counter. Returns `None` when the plan
+/// has no rules for the target (the sequential engine ignores such sends
+/// without accounting them). Probe partitions go to their owners; the
+/// store partition goes to its owner only when the rule set actually
+/// stores. `guard` is the logical sequence position the delivery acts at
+/// (the originating root for normal sends, the original prober's position
+/// for retro-produced results).
+pub(crate) fn fan_out(
+    plan: &TopologyPlan,
+    workers: usize,
+    target: SendTarget,
+    tuple: Tuple,
+    guard: u64,
+    root: &Arc<RootHandle>,
+    started: Instant,
+) -> Option<(RouteSpec, Vec<(usize, Delivery)>)> {
+    let rules = plan.rules.get(&(target.store, target.edge))?;
+    let has_store = rules.iter().any(|r| matches!(r, Rule::Store));
+    let has_probe = rules.iter().any(|r| matches!(r, Rule::Probe { .. }));
+    if !has_store && !has_probe {
+        return None;
+    }
+    let spec = resolve(plan, &target, &tuple)?;
+    let mut per_worker: Vec<Option<Delivery>> = (0..workers).map(|_| None).collect();
+    if has_probe {
+        for &p in &spec.probe_partitions {
+            per_worker[owner_of(p, workers)]
+                .get_or_insert_with(|| Delivery {
+                    target,
+                    tuple: tuple.clone(),
+                    probe_partitions: Vec::new(),
+                    store_partition: None,
+                    broadcast: spec.broadcast,
+                    guard,
+                    root: root.clone(),
+                    started,
+                })
+                .probe_partitions
+                .push(p);
+        }
+    }
+    if has_store {
+        per_worker[owner_of(spec.store_partition, workers)]
+            .get_or_insert_with(|| Delivery {
+                target,
+                tuple: tuple.clone(),
+                probe_partitions: Vec::new(),
+                store_partition: None,
+                broadcast: spec.broadcast,
+                guard,
+                root: root.clone(),
+                started,
+            })
+            .store_partition = Some(spec.store_partition);
+    }
+    let deliveries: Vec<(usize, Delivery)> = per_worker
+        .into_iter()
+        .enumerate()
+        .filter_map(|(worker, d)| d.map(|d| (worker, d)))
+        .collect();
+    for _ in &deliveries {
+        root.register();
+    }
+    Some((spec, deliveries))
+}
+
+/// Number of workers holding at least one partition of a store with the
+/// given parallelism (used to extrapolate shard-local store sizes for the
+/// statistics collector).
+pub(crate) fn workers_of_store(parallelism: usize, workers: usize) -> usize {
+    parallelism.max(1).min(workers)
+}
+
+/// Stores that receive `Store` deliveries through `Forward` actions, i.e.
+/// materialized intermediate-result stores maintained by sub-query probe
+/// orders. Base stores are only fed by the router itself, whose FIFO order
+/// already guarantees insert-before-probe visibility; forward-fed stores
+/// get their inserts from racing worker threads, so probes at them
+/// register as *pending probers* and late inserts retro-match them (the
+/// symmetric completion mechanism of the shard).
+pub(crate) fn symmetric_stores(plan: &TopologyPlan) -> HashSet<StoreId> {
+    let mut forward_fed: HashSet<StoreId> = HashSet::new();
+    for rules in plan.rules.values() {
+        for rule in rules {
+            let Rule::Probe { outputs, .. } = rule else {
+                continue;
+            };
+            for action in outputs {
+                let OutputAction::Forward(next) = action else {
+                    continue;
+                };
+                let stores = plan
+                    .rules
+                    .get(&(next.store, next.edge))
+                    .map(|rs| rs.iter().any(|r| matches!(r, Rule::Store)))
+                    .unwrap_or(false);
+                if stores {
+                    forward_fed.insert(next.store);
+                }
+            }
+        }
+    }
+    forward_fed
+}
+
+/// Global completion progress: the watermark `w` means every root with
+/// sequence number `<= w` has been fully processed on every worker.
+#[derive(Debug, Default)]
+pub(crate) struct Progress {
+    watermark: AtomicU64,
+    /// Completed root seqs above the watermark, awaiting contiguity.
+    completed: Mutex<HashSet<u64>>,
+    condvar: Condvar,
+}
+
+impl Progress {
+    /// Current watermark (roots `<= w` fully drained).
+    pub fn watermark(&self) -> u64 {
+        self.watermark.load(Ordering::Acquire)
+    }
+
+    /// Marks one root complete and advances the watermark over any now
+    /// contiguous prefix.
+    pub fn complete(&self, seq: u64) {
+        let mut done = self.completed.lock().expect("progress lock");
+        done.insert(seq);
+        let mut w = self.watermark.load(Ordering::Acquire);
+        while done.remove(&(w + 1)) {
+            w += 1;
+        }
+        self.watermark.store(w, Ordering::Release);
+        self.condvar.notify_all();
+    }
+
+    /// Blocks until the watermark changes or `timeout` elapses; returns the
+    /// watermark afterwards.
+    pub fn wait_for_change(&self, timeout: std::time::Duration) -> u64 {
+        let before = self.watermark();
+        let guard = self.completed.lock().expect("progress lock");
+        if self.watermark() != before {
+            return self.watermark();
+        }
+        let _unused = self
+            .condvar
+            .wait_timeout(guard, timeout)
+            .expect("progress wait");
+        self.watermark()
+    }
+}
+
+/// Tracks the outstanding deliveries spawned (directly or transitively) by
+/// one ingested input tuple. The creator holds a +1 bias released once all
+/// initial deliveries are registered, so the root cannot complete early.
+#[derive(Debug)]
+pub(crate) struct RootHandle {
+    /// The root's global arrival sequence number (starts at 1).
+    pub seq: u64,
+    remaining: AtomicU32,
+    progress: Arc<Progress>,
+}
+
+impl RootHandle {
+    /// New handle with the creator bias held.
+    pub fn new(seq: u64, progress: Arc<Progress>) -> Arc<Self> {
+        Arc::new(RootHandle {
+            seq,
+            remaining: AtomicU32::new(1),
+            progress,
+        })
+    }
+
+    /// Registers one more outstanding delivery.
+    pub fn register(&self) {
+        self.remaining.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Marks one delivery processed; completes the root when the count
+    /// reaches zero.
+    pub fn finish_one(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.progress.complete(self.seq);
+        }
+    }
+
+    /// Releases the creator bias (all initial deliveries registered).
+    pub fn release_bias(&self) {
+        self.finish_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermark_advances_only_over_contiguous_roots() {
+        let progress = Arc::new(Progress::default());
+        assert_eq!(progress.watermark(), 0);
+        progress.complete(2);
+        assert_eq!(progress.watermark(), 0, "gap at 1 blocks");
+        progress.complete(1);
+        assert_eq!(progress.watermark(), 2, "contiguous prefix collapses");
+        progress.complete(3);
+        assert_eq!(progress.watermark(), 3);
+    }
+
+    #[test]
+    fn root_completes_when_bias_and_deliveries_finish() {
+        let progress = Arc::new(Progress::default());
+        let root = RootHandle::new(1, progress.clone());
+        root.register();
+        root.register();
+        root.release_bias();
+        assert_eq!(progress.watermark(), 0);
+        root.finish_one();
+        assert_eq!(progress.watermark(), 0);
+        root.finish_one();
+        assert_eq!(progress.watermark(), 1);
+    }
+
+    #[test]
+    fn zero_delivery_root_completes_on_bias_release() {
+        let progress = Arc::new(Progress::default());
+        let root = RootHandle::new(1, progress.clone());
+        root.release_bias();
+        assert_eq!(progress.watermark(), 1);
+    }
+
+    #[test]
+    fn owner_mapping_is_round_robin() {
+        assert_eq!(owner_of(0, 4), 0);
+        assert_eq!(owner_of(5, 4), 1);
+        assert_eq!(owner_of(3, 1), 0);
+        assert_eq!(workers_of_store(8, 4), 4);
+        assert_eq!(workers_of_store(2, 4), 2);
+        assert_eq!(workers_of_store(0, 4), 1);
+    }
+}

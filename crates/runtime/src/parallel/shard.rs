@@ -1,0 +1,401 @@
+//! Per-worker shard state: the partitions a worker owns of every store,
+//! plus its private metrics and statistics accumulators.
+//!
+//! A shard executes the same rule sets (Algorithm 3/4) as the sequential
+//! engine, restricted to the partitions assigned to its worker. Two
+//! mechanisms make the union of all shards' results equal to the
+//! sequential engine's result set:
+//!
+//! * **Sequence guard** — inserts are tagged with the logical sequence
+//!   position (`guard`) of the root that produced them and probes skip
+//!   state at or above their own guard, so racing ahead never matches
+//!   later arrivals.
+//! * **Symmetric pending probers** — at forward-fed (MIR) stores an
+//!   insert may arrive *after* a probe that should have observed it.
+//!   Probes at such stores therefore register as pending probers next to
+//!   the partition; when a late insert with a smaller guard lands, it
+//!   retro-matches the registered probers locally and emits the missed
+//!   results through the same outputs. Every (probe, insert) pair matches
+//!   exactly once: at probe time if the insert was applied, retroactively
+//!   otherwise. Probers are garbage-collected once the completion
+//!   watermark proves no earlier root can still insert.
+
+use crate::engine::{indexed_attrs, store_window};
+use crate::metrics::EngineMetrics;
+use crate::parallel::router::workers_of_store;
+use crate::parallel::worker::{Delivery, Outbox};
+use crate::stats_collector::StatsCollector;
+use crate::store::StoreInstance;
+use clash_catalog::Catalog;
+use clash_common::{
+    AttrRef, EdgeId, Epoch, EpochConfig, QueryId, StoreId, Timestamp, Tuple, Window,
+};
+use clash_optimizer::{OutputAction, Rule, TopologyPlan};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-store construction data shipped by the coordinator on (re)install:
+/// expiry windows and indexed attributes, both derived from the catalog
+/// and the plan exactly as the sequential engine derives them.
+#[derive(Debug, Clone)]
+pub(crate) struct StoreLayout {
+    /// Expiry window per store.
+    pub windows: HashMap<StoreId, Window>,
+    /// Indexed attributes per store.
+    pub indexed: HashMap<StoreId, Vec<AttrRef>>,
+}
+
+impl StoreLayout {
+    /// Derives the layout for a plan from the catalog.
+    pub fn derive(catalog: &Catalog, plan: &TopologyPlan) -> StoreLayout {
+        let mut windows = HashMap::new();
+        let mut indexed = HashMap::new();
+        for def in &plan.stores {
+            windows.insert(def.id, store_window(catalog, def.descriptor.relations));
+            indexed.insert(def.id, indexed_attrs(plan, def.id));
+        }
+        StoreLayout { windows, indexed }
+    }
+}
+
+/// A probe that ran against a forward-fed store and stays registered until
+/// the watermark proves no earlier insert is still in flight.
+#[derive(Debug)]
+struct PendingProber {
+    /// Logical sequence position of the probe.
+    guard: u64,
+    /// The probing tuple.
+    tuple: Tuple,
+    /// Partitions (owned by this worker) the probe inspected.
+    partitions: Vec<usize>,
+    /// Rule key whose probe rules (predicates, outputs) apply.
+    key: (StoreId, EdgeId),
+    /// Wall-clock ingest instant of the probe's root.
+    started: Instant,
+}
+
+/// The state owned by one worker thread.
+#[derive(Debug)]
+pub(crate) struct ShardState {
+    workers: usize,
+    plan: Arc<TopologyPlan>,
+    stores: HashMap<StoreId, StoreInstance>,
+    /// Forward-fed stores requiring symmetric probing.
+    symmetric: Arc<HashSet<StoreId>>,
+    /// Pending probers per forward-fed store.
+    pending: HashMap<StoreId, Vec<PendingProber>>,
+    epoch: EpochConfig,
+    /// Metrics delta since the last collection barrier.
+    pub metrics: EngineMetrics,
+    /// Statistics delta since the last collection barrier.
+    pub stats: StatsCollector,
+    /// Emitted results since the last collection barrier (only filled when
+    /// the coordinator collects results or has a sink registered).
+    pub results: Vec<(QueryId, Tuple)>,
+    /// Whether emitted result tuples are retained for the coordinator.
+    pub forward_results: bool,
+}
+
+impl ShardState {
+    /// Creates the shard with instantiated (empty) stores for `plan`.
+    pub fn new(
+        workers: usize,
+        plan: Arc<TopologyPlan>,
+        layout: &StoreLayout,
+        symmetric: Arc<HashSet<StoreId>>,
+        epoch: EpochConfig,
+        forward_results: bool,
+    ) -> Self {
+        let mut shard = ShardState {
+            workers,
+            plan: Arc::new(TopologyPlan::default()),
+            stores: HashMap::new(),
+            symmetric: Arc::new(HashSet::new()),
+            pending: HashMap::new(),
+            epoch,
+            metrics: EngineMetrics::default(),
+            stats: StatsCollector::new(epoch.length),
+            results: Vec::new(),
+            forward_results,
+        };
+        shard.install(plan, layout, symmetric);
+        shard
+    }
+
+    /// Installs a plan, carrying over the state of stores whose descriptor
+    /// key matches (Section VI-A) and dropping the rest — the same
+    /// carry-over rule as the sequential engine, applied shard-locally.
+    /// Installs only happen after a full drain, so no probers are pending.
+    pub fn install(
+        &mut self,
+        plan: Arc<TopologyPlan>,
+        layout: &StoreLayout,
+        symmetric: Arc<HashSet<StoreId>>,
+    ) {
+        let mut existing: HashMap<String, StoreInstance> = self
+            .stores
+            .drain()
+            .map(|(_, s)| (s.descriptor.key(), s))
+            .collect();
+        for def in &plan.stores {
+            let window = layout.windows.get(&def.id).copied().unwrap_or_default();
+            let indexed = layout.indexed.get(&def.id).cloned().unwrap_or_default();
+            let instance = match existing.remove(&def.descriptor.key()) {
+                Some(mut s) => {
+                    for attr in indexed {
+                        s.add_indexed_attr(attr);
+                    }
+                    s.window = window;
+                    s
+                }
+                None => StoreInstance::new(def.descriptor, window, indexed),
+            };
+            self.stores.insert(def.id, instance);
+        }
+        self.plan = plan;
+        self.symmetric = symmetric;
+        self.pending.clear();
+    }
+
+    /// Executes the rules of one delivery, pushing generated forwards into
+    /// `out` and recording emissions locally.
+    pub fn process(&mut self, delivery: &Delivery, out: &mut Outbox) {
+        let plan = Arc::clone(&self.plan);
+        let key = (delivery.target.store, delivery.target.edge);
+        let Some(rules) = plan.rules.get(&key) else {
+            return;
+        };
+        let epoch = self.epoch.epoch_of(delivery.tuple.ts);
+        let mut probed = false;
+        for rule in rules {
+            match rule {
+                Rule::Store => {
+                    let Some(partition) = delivery.store_partition else {
+                        continue;
+                    };
+                    let store = self
+                        .stores
+                        .get_mut(&delivery.target.store)
+                        .expect("store exists");
+                    store.insert_seq(partition, epoch, delivery.tuple.clone(), delivery.guard);
+                    if self.symmetric.contains(&delivery.target.store) {
+                        self.retro_probe(&plan, delivery.target.store, partition, delivery, out);
+                    }
+                }
+                Rule::Probe {
+                    predicates,
+                    outputs,
+                } => {
+                    if delivery.probe_partitions.is_empty() {
+                        continue;
+                    }
+                    probed = true;
+                    let store = self
+                        .stores
+                        .get(&delivery.target.store)
+                        .expect("store exists");
+                    let window = store.window;
+                    let lo = self.epoch.epoch_of(window.horizon(delivery.tuple.ts));
+                    let epochs: Vec<Epoch> = (lo.0..=epoch.0).map(Epoch).collect();
+                    // Statistics must aggregate to what the sequential
+                    // engine records: one probe observation against the
+                    // whole-store size per logical probe. A broadcast probe
+                    // is split across the sharing workers, so each
+                    // contributes its local store slice (the slices sum to
+                    // the whole store) and only the worker holding
+                    // partition 0 counts the probe itself. A hashed probe
+                    // runs on one worker, which extrapolates the whole
+                    // store size from its shard.
+                    let counts_probe =
+                        !delivery.broadcast || delivery.probe_partitions.contains(&0);
+                    let est_size = if delivery.broadcast {
+                        store.len() as u64
+                    } else {
+                        let sharing = workers_of_store(store.parallelism(), self.workers) as u64;
+                        store.len() as u64 * sharing
+                    };
+                    let mut matches = Vec::new();
+                    for &p in &delivery.probe_partitions {
+                        matches.extend(store.probe_seq(
+                            p,
+                            &epochs,
+                            &delivery.tuple,
+                            predicates,
+                            Some(delivery.guard),
+                        ));
+                    }
+                    if counts_probe {
+                        self.metrics.probes += 1;
+                    }
+                    self.stats.record_probe_obs(
+                        epoch,
+                        predicates,
+                        u64::from(counts_probe),
+                        matches.len() as u64,
+                        est_size,
+                    );
+                    for matched in matches {
+                        let Some(joined) = delivery.tuple.join(&matched) else {
+                            continue;
+                        };
+                        for action in outputs {
+                            match action {
+                                OutputAction::Emit { query } => {
+                                    *self.metrics.results.entry(*query).or_default() += 1;
+                                    self.metrics.record_latency(delivery.started.elapsed());
+                                    if self.forward_results {
+                                        self.results.push((*query, joined.clone()));
+                                    }
+                                }
+                                OutputAction::Forward(next) => {
+                                    out.forward(
+                                        &plan,
+                                        self.workers,
+                                        *next,
+                                        joined.clone(),
+                                        delivery.guard,
+                                        &delivery.root,
+                                        delivery.started,
+                                        &mut self.metrics,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Register the probe for symmetric completion: a later-arriving
+        // insert with a smaller guard must still find it.
+        if probed && self.symmetric.contains(&delivery.target.store) {
+            self.pending
+                .entry(delivery.target.store)
+                .or_default()
+                .push(PendingProber {
+                    guard: delivery.guard,
+                    tuple: delivery.tuple.clone(),
+                    partitions: delivery.probe_partitions.clone(),
+                    key,
+                    started: delivery.started,
+                });
+        }
+    }
+
+    /// Matches a just-applied insert against the registered pending
+    /// probers of the store: the symmetric half of probe processing. Only
+    /// probers with a *larger* guard qualify (they logically ran after
+    /// this insert), and all timestamp/window/predicate checks mirror
+    /// `StoreInstance::probe` exactly.
+    fn retro_probe(
+        &mut self,
+        plan: &TopologyPlan,
+        store_id: StoreId,
+        partition: usize,
+        delivery: &Delivery,
+        out: &mut Outbox,
+    ) {
+        let Some(probers) = self.pending.get(&store_id) else {
+            return;
+        };
+        let store = self.stores.get(&store_id).expect("store exists");
+        let inserted = &delivery.tuple;
+        for prober in probers {
+            if delivery.guard >= prober.guard || !prober.partitions.contains(&partition) {
+                continue;
+            }
+            if inserted.ts >= prober.tuple.ts
+                || !store.window.contains(prober.tuple.ts, inserted.ts)
+            {
+                continue;
+            }
+            let Some(rules) = plan.rules.get(&prober.key) else {
+                continue;
+            };
+            for rule in rules {
+                let Rule::Probe {
+                    predicates,
+                    outputs,
+                } = rule
+                else {
+                    continue;
+                };
+                let all_hold =
+                    store
+                        .predicate_sides(predicates)
+                        .all(|(stored_side, probe_side)| {
+                            matches!(
+                                (inserted.get(&stored_side), prober.tuple.get(&probe_side)),
+                                (Some(sv), Some(pv)) if sv.join_eq(pv)
+                            )
+                        });
+                if !all_hold {
+                    continue;
+                }
+                let Some(joined) = prober.tuple.join(inserted) else {
+                    continue;
+                };
+                // The sequential engine would have counted this match
+                // inside the original probe's observation, so contribute
+                // the match without another probe count or size share.
+                self.stats.record_probe_obs(
+                    self.epoch.epoch_of(prober.tuple.ts),
+                    predicates,
+                    0,
+                    1,
+                    0,
+                );
+                for action in outputs {
+                    match action {
+                        OutputAction::Emit { query } => {
+                            *self.metrics.results.entry(*query).or_default() += 1;
+                            self.metrics.record_latency(prober.started.elapsed());
+                            if self.forward_results {
+                                self.results.push((*query, joined.clone()));
+                            }
+                        }
+                        OutputAction::Forward(next) => {
+                            out.forward(
+                                plan,
+                                self.workers,
+                                *next,
+                                joined.clone(),
+                                prober.guard,
+                                &delivery.root,
+                                prober.started,
+                                &mut self.metrics,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops pending probers that can no longer receive late inserts: all
+    /// roots below their guard have completed (watermark >= guard - 1).
+    pub fn gc_probers(&mut self, watermark: u64) {
+        for probers in self.pending.values_mut() {
+            probers.retain(|p| p.guard > watermark + 1);
+        }
+    }
+
+    /// Expires out-of-window tuples from every owned partition, given the
+    /// maximum stream timestamp observed by the coordinator.
+    pub fn expire(&mut self, upto: Timestamp) -> usize {
+        let mut removed = 0;
+        for store in self.stores.values_mut() {
+            let horizon = store.window.horizon(upto);
+            removed += store.expire(horizon);
+        }
+        removed
+    }
+
+    /// `(tuples, bytes)` currently held by this shard.
+    pub fn store_totals(&self) -> (usize, usize) {
+        (
+            self.stores.values().map(|s| s.len()).sum(),
+            self.stores.values().map(|s| s.bytes()).sum(),
+        )
+    }
+}

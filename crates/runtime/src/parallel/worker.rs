@@ -1,0 +1,259 @@
+//! Worker threads: message protocol, fan-out outbox and the thread loop.
+//!
+//! Every worker owns one mpsc receiver; the coordinator and all other
+//! workers hold senders to it. Per-sender FIFO plus the router's
+//! arrival-order dispatch give each (store, partition) a delivery order
+//! consistent with sequential execution; the sequence-number probe guard
+//! and the symmetric pending-prober mechanism (see `shard`) close the two
+//! remaining races.
+
+use crate::metrics::EngineMetrics;
+use crate::parallel::router::{fan_out, Progress, RootHandle};
+use crate::parallel::shard::{ShardState, StoreLayout};
+use crate::stats_collector::StatsCollector;
+use clash_common::{EpochConfig, QueryId, StoreId, Timestamp, Tuple};
+use clash_optimizer::{SendTarget, TopologyPlan};
+use std::collections::HashSet;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One tuple delivery to the partitions of one store that a single worker
+/// owns. `probe_partitions` drive `Probe` rules; `store_partition` (when
+/// the receiving worker owns it) drives `Store` rules.
+#[derive(Debug, Clone)]
+pub(crate) struct Delivery {
+    /// Target store and edge label (selects the rule set).
+    pub target: SendTarget,
+    /// The tuple or partial join result being delivered.
+    pub tuple: Tuple,
+    /// Owned partitions to probe (empty for store-only deliveries).
+    pub probe_partitions: Vec<usize>,
+    /// Owned partition to insert into, if any.
+    pub store_partition: Option<usize>,
+    /// `true` when the route broadcast to every partition of the store
+    /// (this worker then holds only its slice of one logical probe).
+    pub broadcast: bool,
+    /// Logical sequence position: probes only match state with a strictly
+    /// smaller guard; inserts become visible to guards above this one. For
+    /// normal deliveries this is the root's sequence number; results
+    /// retro-produced by a late insert inherit the original prober's guard.
+    pub guard: u64,
+    /// Completion handle of the root whose processing produced this
+    /// delivery (accounting only — may differ from `guard` for
+    /// retro-produced results).
+    pub root: Arc<RootHandle>,
+    /// Wall-clock ingest instant of the root (for latency metrics).
+    pub started: Instant,
+}
+
+/// Messages from the coordinator (and, for `Batch`, from peer workers).
+#[derive(Debug)]
+pub(crate) enum WorkerMsg {
+    /// Deliveries to process in order.
+    Batch(Vec<Delivery>),
+    /// Collection barrier: reply with an [`WorkerAck`] carrying all deltas
+    /// accumulated since the previous barrier; optionally run a counted
+    /// expiry first.
+    Collect {
+        /// Barrier token echoed in the ack.
+        token: u64,
+        /// When set, expire out-of-window tuples up to this stream time.
+        expire_upto: Option<Timestamp>,
+    },
+    /// Installs a new plan (carry-over by descriptor key), then acks.
+    Install {
+        /// Barrier token echoed in the ack.
+        token: u64,
+        /// The new plan.
+        plan: Arc<TopologyPlan>,
+        /// Store windows and indexed attributes for the new plan.
+        layout: Arc<StoreLayout>,
+        /// Forward-fed stores of the new plan (symmetric probing).
+        symmetric: Arc<HashSet<StoreId>>,
+    },
+    /// Fire-and-forget expiry (the engine's periodic cadence).
+    Expire {
+        /// Expire up to this stream time.
+        upto: Timestamp,
+    },
+    /// Toggles retention of emitted result tuples for the coordinator.
+    ForwardResults(bool),
+    /// Terminates the worker loop.
+    Shutdown,
+}
+
+/// Barrier reply with the worker's accumulated deltas.
+#[derive(Debug)]
+pub(crate) struct WorkerAck {
+    /// Index of the acking worker.
+    pub worker: usize,
+    /// Token of the barrier being acknowledged.
+    pub token: u64,
+    /// Metrics delta since the last barrier.
+    pub metrics: EngineMetrics,
+    /// Statistics delta since the last barrier.
+    pub stats: StatsCollector,
+    /// Results emitted since the last barrier (when forwarding is on).
+    pub results: Vec<(QueryId, Tuple)>,
+    /// Total tuples currently held by this shard.
+    pub store_tuples: usize,
+    /// Total bytes currently held by this shard.
+    pub store_bytes: usize,
+    /// Tuples removed by the counted expiry of this barrier.
+    pub expired: usize,
+}
+
+/// Collects the deliveries generated while processing one message and
+/// ships them per target worker in one go.
+pub(crate) struct Outbox {
+    direct: Vec<Vec<Delivery>>,
+}
+
+impl Outbox {
+    /// An empty outbox for `workers` targets.
+    pub fn new(workers: usize) -> Self {
+        Outbox {
+            direct: (0..workers).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Routes one forwarded tuple, accounting the send in `metrics`
+    /// exactly as the sequential engine would (copies per partition,
+    /// broadcast counter).
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward(
+        &mut self,
+        plan: &TopologyPlan,
+        workers: usize,
+        target: SendTarget,
+        tuple: Tuple,
+        guard: u64,
+        root: &Arc<RootHandle>,
+        started: Instant,
+        metrics: &mut EngineMetrics,
+    ) {
+        let Some((spec, deliveries)) = fan_out(plan, workers, target, tuple, guard, root, started)
+        else {
+            return;
+        };
+        metrics.tuples_sent += spec.copies();
+        if spec.broadcast {
+            metrics.broadcasts += 1;
+        }
+        for (worker, delivery) in deliveries {
+            self.direct[worker].push(delivery);
+        }
+    }
+
+    /// Ships everything to the target workers.
+    pub fn flush(self, senders: &[Sender<WorkerMsg>]) {
+        for (worker, batch) in self.direct.into_iter().enumerate() {
+            if !batch.is_empty() {
+                // A send only fails after shutdown; deliveries are then moot.
+                let _ = senders[worker].send(WorkerMsg::Batch(batch));
+            }
+        }
+    }
+}
+
+/// Everything a worker thread needs besides its receiver.
+pub(crate) struct WorkerCtx {
+    /// This worker's index.
+    pub index: usize,
+    /// Total number of workers.
+    pub workers: usize,
+    /// Senders to every worker (including self) for forwards.
+    pub senders: Vec<Sender<WorkerMsg>>,
+    /// Barrier ack channel.
+    pub ack_tx: Sender<WorkerAck>,
+    /// Global completion progress (prober GC horizon).
+    pub progress: Arc<Progress>,
+    /// Forward-fed stores of the current plan (symmetric probing).
+    pub symmetric: Arc<HashSet<StoreId>>,
+    /// Epoch configuration.
+    pub epoch: EpochConfig,
+    /// Initial plan.
+    pub plan: Arc<TopologyPlan>,
+    /// Initial store layout.
+    pub layout: Arc<StoreLayout>,
+    /// Initial result-forwarding flag.
+    pub forward_results: bool,
+}
+
+/// The worker thread body.
+pub(crate) fn run_worker(ctx: WorkerCtx, rx: Receiver<WorkerMsg>) {
+    let WorkerCtx {
+        index,
+        workers,
+        senders,
+        ack_tx,
+        progress,
+        symmetric,
+        epoch,
+        plan,
+        layout,
+        forward_results,
+    } = ctx;
+    let mut shard = ShardState::new(workers, plan, &layout, symmetric, epoch, forward_results);
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Batch(deliveries) => {
+                let started = Instant::now();
+                let mut out = Outbox::new(workers);
+                for delivery in &deliveries {
+                    shard.process(delivery, &mut out);
+                    delivery.root.finish_one();
+                }
+                out.flush(&senders);
+                shard.gc_probers(progress.watermark());
+                shard.metrics.busy += started.elapsed();
+            }
+            WorkerMsg::Collect { token, expire_upto } => {
+                let expired = expire_upto.map(|upto| shard.expire(upto)).unwrap_or(0);
+                shard.gc_probers(progress.watermark());
+                if ack_tx
+                    .send(drain_ack(&mut shard, index, token, expired))
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            WorkerMsg::Install {
+                token,
+                plan,
+                layout,
+                symmetric,
+            } => {
+                shard.install(plan, &layout, symmetric);
+                if ack_tx.send(drain_ack(&mut shard, index, token, 0)).is_err() {
+                    break;
+                }
+            }
+            WorkerMsg::Expire { upto } => {
+                shard.expire(upto);
+            }
+            WorkerMsg::ForwardResults(on) => {
+                shard.forward_results = on;
+            }
+            WorkerMsg::Shutdown => break,
+        }
+    }
+}
+
+/// Drains every accumulated delta of the shard into a barrier ack. Both
+/// ack-producing arms (`Collect`, `Install`) go through this single point
+/// so no delta can be taken in one path and forgotten in the other.
+fn drain_ack(shard: &mut ShardState, worker: usize, token: u64, expired: usize) -> WorkerAck {
+    let (store_tuples, store_bytes) = shard.store_totals();
+    WorkerAck {
+        worker,
+        token,
+        metrics: std::mem::take(&mut shard.metrics),
+        stats: shard.stats.take_delta(),
+        results: std::mem::take(&mut shard.results),
+        store_tuples,
+        store_bytes,
+        expired,
+    }
+}

@@ -56,13 +56,29 @@ impl StatsCollector {
         matches: u64,
         store_size: u64,
     ) {
+        self.record_probe_obs(epoch, predicates, 1, matches, store_size);
+    }
+
+    /// Records a partial probe observation with an explicit probe count.
+    /// The parallel runtime splits one logical probe across workers: one
+    /// shard contributes the probe count, the others only their matches
+    /// and store-size shares, so the merged totals equal what a single
+    /// engine observing the whole probe would have recorded.
+    pub fn record_probe_obs(
+        &mut self,
+        epoch: Epoch,
+        predicates: &[EquiPredicate],
+        probes: u64,
+        matches: u64,
+        store_size: u64,
+    ) {
         let obs = self.epochs.entry(epoch).or_default();
         for p in predicates {
             let entry = obs
                 .predicate_obs
                 .entry((p.left, p.right))
                 .or_insert((0, 0, 0));
-            entry.0 += 1;
+            entry.0 += probes;
             entry.1 += matches;
             entry.2 += store_size;
         }
@@ -102,6 +118,36 @@ impl StatsCollector {
         self.epochs.retain(|e, _| *e >= keep_from);
     }
 
+    /// Drains every observation into a standalone delta collector (the
+    /// epoch length is copied so the delta normalizes rates identically).
+    /// Used by parallel workers to hand their observations to the
+    /// coordinator at epoch barriers.
+    pub fn take_delta(&mut self) -> StatsCollector {
+        StatsCollector {
+            epochs: std::mem::take(&mut self.epochs),
+            epoch_length: self.epoch_length,
+        }
+    }
+
+    /// Merges the observations of a delta collector into this one. Arrival
+    /// counts and predicate observations are summed per epoch, so the
+    /// selectivity estimate over the merged data equals the estimate a
+    /// single engine observing the union of the streams would produce.
+    pub fn merge(&mut self, delta: StatsCollector) {
+        for (epoch, obs) in delta.epochs {
+            let target = self.epochs.entry(epoch).or_default();
+            for (relation, n) in obs.arrivals {
+                *target.arrivals.entry(relation).or_default() += n;
+            }
+            for (key, (probes, matches, size)) in obs.predicate_obs {
+                let entry = target.predicate_obs.entry(key).or_insert((0, 0, 0));
+                entry.0 += probes;
+                entry.1 += matches;
+                entry.2 += size;
+            }
+        }
+    }
+
     /// Number of epochs with observations (for tests / introspection).
     pub fn observed_epochs(&self) -> usize {
         self.epochs.len()
@@ -127,7 +173,10 @@ mod tests {
         assert!((stats.rate(RelationId::new(0)) - 100.0).abs() < 1e-9);
         assert_eq!(stats.epoch, Epoch(3));
         // Unobserved relations keep the prior default.
-        assert_eq!(stats.rate(RelationId::new(5)), Statistics::new().default_rate);
+        assert_eq!(
+            stats.rate(RelationId::new(5)),
+            Statistics::new().default_rate
+        );
     }
 
     #[test]

@@ -13,13 +13,17 @@ use std::hash::{Hash, Hasher};
 #[derive(Debug, Default)]
 struct EpochContainer {
     tuples: Vec<Tuple>,
+    /// Ingest sequence number of the root tuple that caused each insertion
+    /// (parallel runtime; `0` for the sequential engine, which needs no
+    /// ordering guard beyond timestamps).
+    seqs: Vec<u64>,
     /// attribute -> value -> indices into `tuples`.
     indexes: HashMap<AttrRef, HashMap<Value, Vec<usize>>>,
     bytes: usize,
 }
 
 impl EpochContainer {
-    fn insert(&mut self, tuple: Tuple, indexed_attrs: &[AttrRef]) {
+    fn insert(&mut self, tuple: Tuple, seq: u64, indexed_attrs: &[AttrRef]) {
         let idx = self.tuples.len();
         self.bytes += tuple.approx_size_bytes();
         for attr in indexed_attrs {
@@ -33,6 +37,7 @@ impl EpochContainer {
             }
         }
         self.tuples.push(tuple);
+        self.seqs.push(seq);
     }
 
     /// Candidate matches via the index on `attr` (falls back to a scan when
@@ -49,21 +54,22 @@ impl EpochContainer {
             return 0;
         }
         let before = self.tuples.len();
-        let retained: Vec<Tuple> = self
+        let seqs = std::mem::take(&mut self.seqs);
+        let retained: Vec<(Tuple, u64)> = self
             .tuples
             .drain(..)
-            .filter(|t| t.ts >= horizon)
+            .zip(seqs)
+            .filter(|(t, _)| t.ts >= horizon)
             .collect();
         self.indexes.clear();
         self.bytes = 0;
-        let attrs: Vec<AttrRef> = Vec::new();
         // Rebuild without indexes first; indexes are rebuilt lazily by the
         // caller via `rebuild_indexes`.
-        for t in retained {
+        for (t, s) in retained {
             self.bytes += t.approx_size_bytes();
             self.tuples.push(t);
+            self.seqs.push(s);
         }
-        let _ = attrs;
         before - self.tuples.len()
     }
 
@@ -158,11 +164,19 @@ impl StoreInstance {
 
     /// Inserts a tuple into the given epoch and partition.
     pub fn insert(&mut self, partition: usize, epoch: Epoch, tuple: Tuple) {
+        self.insert_seq(partition, epoch, tuple, 0);
+    }
+
+    /// Inserts a tuple tagged with the ingest sequence number of its root
+    /// input tuple. The parallel runtime uses the tag to restrict probes to
+    /// strictly earlier arrivals (see [`Self::probe_seq`]); the sequential
+    /// engine always passes `0`.
+    pub fn insert_seq(&mut self, partition: usize, epoch: Epoch, tuple: Tuple, seq: u64) {
         let p = partition.min(self.partitions.len().saturating_sub(1));
         self.partitions[p]
             .entry(epoch)
             .or_default()
-            .insert(tuple, &self.indexed_attrs);
+            .insert(tuple, seq, &self.indexed_attrs);
     }
 
     /// Probes one partition across the given epochs: returns all stored
@@ -178,18 +192,47 @@ impl StoreInstance {
         probe: &Tuple,
         predicates: &[EquiPredicate],
     ) -> Vec<Tuple> {
+        self.probe_seq(partition, epochs, probe, predicates, None)
+    }
+
+    /// Resolves, for each predicate, which attribute lives on this store's
+    /// relation set (stored side) and which on the probing tuple (probe
+    /// side). Shared by the in-store probe and the parallel runtime's
+    /// retroactive matching so the two halves can never drift apart.
+    pub fn predicate_sides<'a>(
+        &self,
+        predicates: &'a [EquiPredicate],
+    ) -> impl Iterator<Item = (AttrRef, AttrRef)> + 'a {
+        let relations = self.descriptor.relations;
+        predicates.iter().map(move |pred| {
+            if relations.contains(pred.left.relation) {
+                (pred.left, pred.right)
+            } else {
+                (pred.right, pred.left)
+            }
+        })
+    }
+
+    /// Like [`Self::probe`], but additionally restricted to tuples stored
+    /// by roots with a strictly smaller ingest sequence number. The
+    /// parallel runtime relies on this to reproduce the sequential engine's
+    /// "probe only earlier arrivals" semantics when shards race ahead of
+    /// each other; timestamps alone cannot express arrival order for
+    /// out-of-order streams.
+    pub fn probe_seq(
+        &self,
+        partition: usize,
+        epochs: &[Epoch],
+        probe: &Tuple,
+        predicates: &[EquiPredicate],
+        probe_seq: Option<u64>,
+    ) -> Vec<Tuple> {
         let p = partition.min(self.partitions.len().saturating_sub(1));
         let mut results = Vec::new();
         // Resolve, per predicate, which side belongs to the stored relation
         // and which value the probing tuple supplies.
         let mut resolved: Vec<(AttrRef, Value)> = Vec::new();
-        for pred in predicates {
-            let (stored_side, probe_side) =
-                if self.descriptor.relations.contains(pred.left.relation) {
-                    (pred.left, pred.right)
-                } else {
-                    (pred.right, pred.left)
-                };
+        for (stored_side, probe_side) in self.predicate_sides(predicates) {
             match probe.get(&probe_side) {
                 Some(v) => resolved.push((stored_side, v.clone())),
                 None => return results,
@@ -209,6 +252,11 @@ impl StoreInstance {
                 // latest constituent of the result) and the window must hold.
                 if stored.ts >= probe.ts || !self.window.contains(probe.ts, stored.ts) {
                     continue;
+                }
+                if let Some(seq) = probe_seq {
+                    if container.seqs[idx] >= seq {
+                        continue;
+                    }
                 }
                 for (attr, value) in &resolved {
                     match stored.get(attr) {
@@ -283,7 +331,11 @@ mod tests {
     fn s_store(parallelism: usize) -> StoreInstance {
         let attr_a = AttrRef::new(RelationId::new(1), AttrId::new(0));
         let descriptor = if parallelism > 1 {
-            StoreDescriptor::partitioned(RelationSet::singleton(RelationId::new(1)), attr_a, parallelism)
+            StoreDescriptor::partitioned(
+                RelationSet::singleton(RelationId::new(1)),
+                attr_a,
+                parallelism,
+            )
         } else {
             StoreDescriptor::unpartitioned(RelationSet::singleton(RelationId::new(1)))
         };
@@ -300,7 +352,9 @@ mod tests {
 
     fn r_tuple(a: i64, ts: u64) -> Tuple {
         let schema = Schema::new(RelationId::new(0), "R", ["a"]);
-        TupleBuilder::new(&schema, Timestamp::from_millis(ts)).set("a", a).build()
+        TupleBuilder::new(&schema, Timestamp::from_millis(ts))
+            .set("a", a)
+            .build()
     }
 
     #[test]
@@ -317,7 +371,9 @@ mod tests {
         assert_eq!(matches.len(), 2, "both S tuples with a=1 match");
 
         let probe = r_tuple(3, 500);
-        assert!(store.probe(0, &[Epoch(0)], &probe, &[pred_ra_sa()]).is_empty());
+        assert!(store
+            .probe(0, &[Epoch(0)], &probe, &[pred_ra_sa()])
+            .is_empty());
     }
 
     #[test]
@@ -328,10 +384,15 @@ mod tests {
         // Probe at t=12s: the 1s tuple is outside the 10s window, the 30s
         // tuple arrived later.
         let probe = r_tuple(1, 12_000);
-        assert!(store.probe(0, &[Epoch(0)], &probe, &[pred_ra_sa()]).is_empty());
+        assert!(store
+            .probe(0, &[Epoch(0)], &probe, &[pred_ra_sa()])
+            .is_empty());
         // Probe at t=8s sees the 1s tuple.
         let probe = r_tuple(1, 8_000);
-        assert_eq!(store.probe(0, &[Epoch(0)], &probe, &[pred_ra_sa()]).len(), 1);
+        assert_eq!(
+            store.probe(0, &[Epoch(0)], &probe, &[pred_ra_sa()]).len(),
+            1
+        );
     }
 
     #[test]
@@ -340,12 +401,19 @@ mod tests {
         store.insert(0, Epoch(0), s_tuple(1, 0, 100));
         store.insert(0, Epoch(1), s_tuple(1, 0, 200));
         let probe = r_tuple(1, 1_000);
-        assert_eq!(store.probe(0, &[Epoch(0)], &probe, &[pred_ra_sa()]).len(), 1);
         assert_eq!(
-            store.probe(0, &[Epoch(0), Epoch(1)], &probe, &[pred_ra_sa()]).len(),
+            store.probe(0, &[Epoch(0)], &probe, &[pred_ra_sa()]).len(),
+            1
+        );
+        assert_eq!(
+            store
+                .probe(0, &[Epoch(0), Epoch(1)], &probe, &[pred_ra_sa()])
+                .len(),
             2
         );
-        assert!(store.probe(0, &[Epoch(5)], &probe, &[pred_ra_sa()]).is_empty());
+        assert!(store
+            .probe(0, &[Epoch(5)], &probe, &[pred_ra_sa()])
+            .is_empty());
     }
 
     #[test]
@@ -356,9 +424,14 @@ mod tests {
         store.insert(p, Epoch(0), t);
         // Probing the right partition finds it, a wrong partition does not.
         let probe = r_tuple(42, 500);
-        assert_eq!(store.probe(p, &[Epoch(0)], &probe, &[pred_ra_sa()]).len(), 1);
+        assert_eq!(
+            store.probe(p, &[Epoch(0)], &probe, &[pred_ra_sa()]).len(),
+            1
+        );
         let other = (p + 1) % 4;
-        assert!(store.probe(other, &[Epoch(0)], &probe, &[pred_ra_sa()]).is_empty());
+        assert!(store
+            .probe(other, &[Epoch(0)], &probe, &[pred_ra_sa()])
+            .is_empty());
     }
 
     #[test]
@@ -372,7 +445,10 @@ mod tests {
         assert_eq!(removed, 5);
         assert_eq!(store.len(), 5);
         let probe = r_tuple(1, 10_000);
-        assert_eq!(store.probe(0, &[Epoch(0)], &probe, &[pred_ra_sa()]).len(), 5);
+        assert_eq!(
+            store.probe(0, &[Epoch(0)], &probe, &[pred_ra_sa()]).len(),
+            5
+        );
         // Expiring everything empties the store.
         store.expire(Timestamp::from_millis(100_000));
         assert!(store.is_empty());

@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("candidate probe orders:");
     for ((query, start), cands) in &candidates.per_start {
         for c in cands {
-            println!("  {query} start {start}: {} (PCost = {:.1})", c.order, c.cost);
+            println!(
+                "  {query} start {start}: {} (PCost = {:.1})",
+                c.order, c.cost
+            );
         }
     }
 
@@ -53,17 +56,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", artifacts.model);
 
     let solution = solve(&artifacts.model, SolverConfig::default());
-    println!("solver status: {:?}, objective = {:.1}", solution.status, solution.objective);
+    println!(
+        "solver status: {:?}, objective = {:.1}",
+        solution.status, solution.objective
+    );
     let selection = extract_selection(
         &candidates,
         &artifacts,
         solution.assignment.as_ref().expect("feasible"),
     )?;
-    println!("\nchosen probe orders (shared probe cost {:.1}):", selection.shared_cost);
+    println!(
+        "\nchosen probe orders (shared probe cost {:.1}):",
+        selection.shared_cost
+    );
     for order in &selection.query_orders {
-        println!("  {} starts {}: {}", order.query, order.order.start, order.order);
+        println!(
+            "  {} starts {}: {}",
+            order.query, order.order.start, order.order
+        );
     }
-    let individual: f64 = [&q1, &q2].iter().map(|q| candidates.individual_cost(q.id)).sum();
+    let individual: f64 = [&q1, &q2]
+        .iter()
+        .map(|q| candidates.individual_cost(q.id))
+        .sum();
     println!("\nindividually optimal plans would cost {individual:.1} tuples/s in total");
     Ok(())
 }

@@ -1,0 +1,131 @@
+//! Sharded parallel runtime demo: three streamed relations, two
+//! continuous multi-way join queries, executed once on the sequential
+//! `LocalEngine` and then on the sharded `ParallelEngine` with 1, 2 and 4
+//! worker threads. Prints end-to-end wall-clock tuples/sec per runtime and
+//! verifies that every deployment produces the identical result count.
+//!
+//! Run with: `cargo run --release --example parallel_throughput`
+
+use clash_common::Window;
+use clash_core::{ClashSystem, RuntimeMode, Strategy, SystemConfig};
+use std::time::Instant;
+
+const TUPLES_PER_RELATION: u64 = 20_000;
+
+fn run(mode: RuntimeMode) -> Result<(f64, u64, String), Box<dyn std::error::Error>> {
+    let mut clash = ClashSystem::new(SystemConfig {
+        runtime: mode,
+        ..SystemConfig::default()
+    });
+    // Three streamed relations; store parallelism 4 so the catalog carries
+    // enough partitions for every worker count in the sweep.
+    clash.register_relation("orders", ["orderkey", "custkey"], Window::secs(3600), 4)?;
+    clash.register_relation(
+        "lineitem",
+        ["orderkey", "partkey", "qty"],
+        Window::secs(3600),
+        4,
+    )?;
+    clash.register_relation("part", ["partkey", "size"], Window::secs(3600), 4)?;
+    clash.set_rate("orders", 1000.0)?;
+    clash.set_rate("lineitem", 1000.0)?;
+    clash.set_rate("part", 1000.0)?;
+
+    // Two queries sharing the orders ⋈ lineitem state.
+    clash.register_query(
+        "q1",
+        "orders(orderkey), lineitem(orderkey,partkey), part(partkey)",
+    )?;
+    clash.register_query("q2", "orders(orderkey), lineitem(orderkey)")?;
+    clash.deploy(Strategy::GlobalIlp)?;
+
+    let orders = clash.catalog().relation_id("orders").unwrap();
+    let lineitem = clash.catalog().relation_id("lineitem").unwrap();
+    let part = clash.catalog().relation_id("part").unwrap();
+
+    let started = Instant::now();
+    let mut sent = 0u64;
+    for i in 0..TUPLES_PER_RELATION {
+        let ts = i * 2;
+        let orderkey = (i % 500) as i64;
+        let partkey = (i % 200) as i64;
+        let o = clash.tuple(
+            "orders",
+            ts,
+            &[
+                ("orderkey", orderkey.into()),
+                ("custkey", ((i % 97) as i64).into()),
+            ],
+        )?;
+        let l = clash.tuple(
+            "lineitem",
+            ts + 1,
+            &[
+                ("orderkey", orderkey.into()),
+                ("partkey", partkey.into()),
+                ("qty", ((i % 13) as i64).into()),
+            ],
+        )?;
+        let p = clash.tuple(
+            "part",
+            ts + 1,
+            &[
+                ("partkey", partkey.into()),
+                ("size", ((i % 7) as i64).into()),
+            ],
+        )?;
+        clash.ingest_by_id(orders, o)?;
+        clash.ingest_by_id(lineitem, l)?;
+        clash.ingest_by_id(part, p)?;
+        sent += 3;
+    }
+    let snap = clash.snapshot()?; // drains the parallel runtime
+    let elapsed = started.elapsed().as_secs_f64();
+    let busy = match clash.parallel_engine_mut() {
+        Some(engine) => {
+            let shares: Vec<String> = engine
+                .worker_busy()
+                .iter()
+                .map(|d| format!("{:.1}s", d.as_secs_f64()))
+                .collect();
+            format!("[{}]", shares.join(" "))
+        }
+        None => String::new(),
+    };
+    Ok((sent as f64 / elapsed, snap.total_results(), busy))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("3 streams x {TUPLES_PER_RELATION} tuples, 2 shared queries, GlobalIlp plan\n");
+    println!(
+        "{:<16} {:>18} {:>14} {:>10}  worker busy",
+        "runtime", "throughput[t/s]", "results", "speedup"
+    );
+    let (local_tps, local_results, _) = run(RuntimeMode::Local)?;
+    println!(
+        "{:<16} {:>18.0} {:>14} {:>9.2}x",
+        "Local", local_tps, local_results, 1.0
+    );
+    for workers in [1usize, 2, 4] {
+        let (tps, results, busy) = run(RuntimeMode::Parallel(workers))?;
+        assert_eq!(
+            results, local_results,
+            "parallel runtime must produce identical results"
+        );
+        println!(
+            "{:<16} {:>18.0} {:>14} {:>9.2}x  {}",
+            format!("Parallel({workers})"),
+            tps,
+            results,
+            tps / local_tps,
+            busy
+        );
+    }
+    println!(
+        "
+(Wall-clock speedup is bounded by the host's core count — this
+ demo saturates every worker; the busy column shows the even shard
+ split that turns into speedup on multi-core hardware.)"
+    );
+    Ok(())
+}

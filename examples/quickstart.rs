@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use clash_core::{ClashSystem, Strategy, SystemConfig};
 use clash_common::Window;
+use clash_core::{ClashSystem, Strategy, SystemConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Describe the streamed relations (name, attributes, window,

@@ -13,7 +13,11 @@ use clash_runtime::{EngineConfig, LocalEngine};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = TpchWorkload::new(2, Window::secs(3600))?;
     let queries = workload.five_queries()?;
-    println!("workload: {} queries over {} relations", queries.len(), workload.catalog.len());
+    println!(
+        "workload: {} queries over {} relations",
+        queries.len(),
+        workload.catalog.len()
+    );
     for q in &queries {
         println!("  {q}");
     }

@@ -2,10 +2,10 @@
 //! spanning crates (hence hosted as an integration test of `clash-core`).
 
 use clash_common::{AttrId, AttrRef, QueryId, RelationId, RelationSet, Timestamp, Window};
-use clash_ilp::{enumerate_optimal, solve, LinExpr, Model, Sense, SolveStatus, SolverConfig, VarId};
-use clash_query::{
-    construct_probe_orders_for_start, enumerate_mirs, EquiPredicate, JoinQuery,
+use clash_ilp::{
+    enumerate_optimal, solve, LinExpr, Model, Sense, SolveStatus, SolverConfig, VarId,
 };
+use clash_query::{construct_probe_orders_for_start, enumerate_mirs, EquiPredicate, JoinQuery};
 use proptest::prelude::*;
 
 fn relation_ids(max: u32) -> impl Strategy<Value = Vec<u32>> {

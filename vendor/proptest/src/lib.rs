@@ -1,0 +1,203 @@
+//! Offline stub of `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro, `prop_assert!` / `prop_assert_eq!`, range
+//! strategies and [`collection::vec`]. Instead of proptest's shrinking
+//! search it samples a fixed number of deterministic random cases per
+//! property (seeded from the property name), so failures are reproducible
+//! run to run; there is no shrinking — the failing case prints as-is via
+//! the panic message.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Cases sampled per property.
+pub const NUM_CASES: u64 = 96;
+
+/// Deterministic per-property random source.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds from the property name so every run samples the same cases.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Samples one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+/// Strategy yielding a fixed value (`proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Size specification accepted by [`vec`]: a fixed length or a
+    /// half-open range (mirrors proptest's `Into<SizeRange>`).
+    pub trait IntoSizeRange {
+        /// Converts to a half-open length range.
+        fn into_size_range(self) -> Range<usize>;
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_range(self) -> Range<usize> {
+            self..self + 1
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn into_size_range(self) -> Range<usize> {
+            self
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.rng().gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`: a vector of `size` elements drawn from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into_size_range(),
+        }
+    }
+}
+
+impl TestRng {
+    #[doc(hidden)]
+    pub fn __core(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// The names tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Just, Strategy, TestRng};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` sampling [`NUM_CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __proptest_rng = $crate::TestRng::deterministic(stringify!($name));
+                for __proptest_case in 0..$crate::NUM_CASES {
+                    let _ = __proptest_case;
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __proptest_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// `assert_eq!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// The harness samples within the requested bounds.
+        #[test]
+        fn ranges_hold(a in 0u32..10, v in collection::vec(0i64..100, 1..5)) {
+            prop_assert!(a < 10);
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|x| (0..100).contains(x)));
+        }
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        let sa = (0u64..1_000).generate(&mut a);
+        let sb = (0u64..1_000).generate(&mut b);
+        assert_eq!(sa, sb);
+    }
+}

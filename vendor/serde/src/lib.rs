@@ -1,0 +1,40 @@
+//! Offline stub of `serde`.
+//!
+//! The build environment has no crates registry, so this crate provides
+//! just enough of serde's surface for the sources to compile:
+//!
+//! * marker traits [`Serialize`] / [`Deserialize`] blanket-implemented for
+//!   every type, and
+//! * re-exports of the no-op derive macros from the `serde_derive` stub.
+//!
+//! Nothing actually serializes; `serde_json::to_string` (also stubbed)
+//! reports an error and callers fall back to `Debug` formatting. Swap this
+//! for the real serde by pointing the workspace dependency back at
+//! crates.io once the environment has registry access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; implemented for every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; implemented for every type.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Minimal `serde::de` namespace for code that names it in bounds.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Minimal `serde::ser` namespace for code that names it in bounds.
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,19 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The container this repository builds in has no access to a crates
+//! registry, so the real serde derive macros are replaced by no-ops: the
+//! sibling `serde` stub blanket-implements its marker traits for every
+//! type, so the derives only need to exist (and swallow `#[serde(...)]`
+//! attributes) for `#[derive(Serialize, Deserialize)]` to compile.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,27 @@
+//! Offline stub of `serde_json`.
+//!
+//! With the stubbed `serde` there is no way to introspect values, so
+//! [`to_string`] always returns [`Error`]; call sites in this workspace
+//! treat that as "JSON unavailable" and fall back to `Debug` output.
+
+use std::fmt;
+
+/// Error returned by every operation of this stub.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stub: serialization unavailable in offline build")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Always fails; callers fall back to their `Debug` representation.
+pub fn to_string<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    Err(Error)
+}
