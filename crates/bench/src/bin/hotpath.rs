@@ -1,0 +1,57 @@
+//! Hot-path microbenchmarks: seed flat representation vs. the zero-copy
+//! rope tuple core and the reworked probe path, plus the Fig. 7 five-query
+//! end-to-end throughput on the optimized engine. Writes the machine-
+//! readable report to `BENCH_hotpath.json`.
+//!
+//! Usage:
+//!   cargo run --release -p clash-bench --bin hotpath [iters] [fig7_tuples] [out.json]
+//!
+//! Defaults: 300000 iterations, 30000-tuple Fig. 7 stream,
+//! `BENCH_hotpath.json` in the current directory. CI runs a smoke pass
+//! with small counts and only validates that the JSON is well-formed (the
+//! single-core runner makes timing assertions meaningless there).
+
+use clash_bench::hotpath::{report_to_json, run_hotpath, BEST_OF};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let iters: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(300_000);
+    let fig7_tuples: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(30_000);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_hotpath.json".into());
+
+    println!(
+        "# Hot-path microbenchmarks — {iters} iterations, best of {BEST_OF}, \
+         Fig. 7 stream of {fig7_tuples} tuples\n"
+    );
+    let report = run_hotpath(iters, fig7_tuples);
+
+    println!(
+        "{:<18} {:>22} {:>18} {:>18} {:>9}",
+        "suite", "unit", "baseline[ops/s]", "optimized[ops/s]", "speedup"
+    );
+    for row in &report.micro {
+        println!(
+            "{:<18} {:>22} {:>18.0} {:>18.0} {:>8.2}x",
+            row.name,
+            row.unit,
+            row.baseline_ops_per_sec,
+            row.optimized_ops_per_sec,
+            row.speedup()
+        );
+    }
+    println!("\n# Fig. 7 end-to-end (5 queries, optimized engine)\n");
+    println!(
+        "{:<12} {:>16} {:>12} {:>12} {:>10}",
+        "strategy", "throughput[t/s]", "memory[MB]", "latency[ms]", "results"
+    );
+    for r in &report.fig7 {
+        println!(
+            "{:<12} {:>16.0} {:>12.2} {:>12.3} {:>10}",
+            r.strategy, r.throughput_tps, r.memory_mb, r.latency_ms, r.results
+        );
+    }
+
+    let json = report_to_json(&report);
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("\nwrote {out_path}");
+}

@@ -62,7 +62,7 @@ fn deploy(scenario: &AdaptiveScenario, adaptive: bool) -> Deployment {
         EngineConfig {
             epoch: EpochConfig::new(Duration::from_secs(1)),
             expire_every: 256,
-            collect_results: false,
+            ..EngineConfig::default()
         },
     );
     Deployment {

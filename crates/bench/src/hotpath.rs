@@ -1,0 +1,797 @@
+//! Hot-path microbenchmarks: the zero-copy rope tuple core and the probe
+//! path against the seed's flat representation.
+//!
+//! The `flat` module re-implements the seed's convenience representation
+//! exactly as it shipped — `(AttrRef, Value)` pairs behind an `Arc`,
+//! linear `get`, deep-copy `join`, posting-list clones on every candidate
+//! lookup and drain-and-rebuild expiry — so every suite measures
+//! *baseline* (seed algorithm) against *optimized* (the live code) on
+//! identical inputs, with a correctness cross-check before timing.
+//!
+//! Suites (all reported as operations per second, best of
+//! [`BEST_OF`] runs):
+//!
+//! * `join_chain_5way` — folding 5 base tuples into a 5-way join result,
+//!   the per-hop cost a partial result pays along a probe order.
+//! * `probe_get` — attribute lookups on the 5-way result (predicate
+//!   evaluation): linear pair scan vs. positional rope descent.
+//! * `store_insert` — inserts into an indexed epoch container.
+//! * `store_probe` — index-driven probes against a filled container,
+//!   including the candidate lookup (cloned vs. borrowed postings).
+//! * `store_expire` — window expiry (drain-and-rebuild vs. in-place
+//!   retain with incremental index repair).
+//!
+//! The end-to-end section replays the Fig. 7 five-query workload through
+//! the optimized engine, tying the microbenchmarks to a whole-system
+//! throughput number.
+
+use crate::fig7::{run_fig7, Fig7Row};
+use clash_common::{
+    AttrId, AttrRef, Epoch, RelationId, RelationSet, SlotAccessor, Timestamp, Tuple, Value, Window,
+};
+use clash_optimizer::StoreDescriptor;
+use clash_query::EquiPredicate;
+use clash_runtime::store::StoreInstance;
+use std::time::Instant;
+
+/// Every suite takes the best of this many timed runs.
+pub const BEST_OF: usize = 3;
+
+/// The seed's tuple and store representation, reproduced verbatim as the
+/// measurement baseline.
+pub mod flat {
+    use clash_common::{AttrRef, RelationId, RelationSet, Timestamp, Value, Window};
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    /// The seed `Tuple`: an `Arc`ed vector of `(attribute, value)` pairs.
+    #[derive(Debug, Clone)]
+    pub struct FlatTuple {
+        pub ts: Timestamp,
+        pub relations: RelationSet,
+        pub values: Arc<Vec<(AttrRef, Value)>>,
+    }
+
+    impl FlatTuple {
+        pub fn base(relation: RelationId, ts: Timestamp, values: Vec<(AttrRef, Value)>) -> Self {
+            FlatTuple {
+                ts,
+                relations: RelationSet::singleton(relation),
+                values: Arc::new(values),
+            }
+        }
+
+        /// Linear scan, as the seed did.
+        pub fn get(&self, attr: &AttrRef) -> Option<&Value> {
+            self.values.iter().find(|(a, _)| a == attr).map(|(_, v)| v)
+        }
+
+        /// Deep copy of both sides into a fresh allocation, as the seed did.
+        pub fn join(&self, other: &FlatTuple) -> Option<FlatTuple> {
+            if !self.relations.is_disjoint(&other.relations) {
+                return None;
+            }
+            let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+            values.extend(self.values.iter().cloned());
+            values.extend(other.values.iter().cloned());
+            Some(FlatTuple {
+                ts: self.ts.max(other.ts),
+                relations: self.relations.union(&other.relations),
+                values: Arc::new(values),
+            })
+        }
+
+        pub fn approx_size_bytes(&self) -> usize {
+            let header = 32;
+            let per_entry = std::mem::size_of::<(AttrRef, Value)>();
+            header
+                + self
+                    .values
+                    .iter()
+                    .map(|(_, v)| per_entry + v.approx_size_bytes())
+                    .sum::<usize>()
+        }
+    }
+
+    /// The seed `EpochContainer`: posting-list clones on candidate
+    /// lookups, drain-and-rebuild expiry.
+    #[derive(Debug, Default)]
+    pub struct FlatContainer {
+        pub tuples: Vec<FlatTuple>,
+        indexes: HashMap<AttrRef, HashMap<Value, Vec<usize>>>,
+        bytes: usize,
+    }
+
+    impl FlatContainer {
+        pub fn insert(&mut self, tuple: FlatTuple, indexed_attrs: &[AttrRef]) {
+            let idx = self.tuples.len();
+            self.bytes += tuple.approx_size_bytes();
+            for attr in indexed_attrs {
+                if let Some(value) = tuple.get(attr) {
+                    self.indexes
+                        .entry(*attr)
+                        .or_default()
+                        .entry(value.clone())
+                        .or_default()
+                        .push(idx);
+                }
+            }
+            self.tuples.push(tuple);
+        }
+
+        /// Cloned candidate list (the seed allocated per lookup).
+        pub fn candidates(&self, attr: &AttrRef, value: &Value) -> Vec<usize> {
+            match self.indexes.get(attr) {
+                Some(by_value) => by_value.get(value).cloned().unwrap_or_default(),
+                None => (0..self.tuples.len()).collect(),
+            }
+        }
+
+        /// The seed probe: clone the probe values, clone the candidate
+        /// postings, linear `get` per predicate check.
+        pub fn probe(
+            &self,
+            window: Window,
+            probe: &FlatTuple,
+            resolved: &[(AttrRef, AttrRef)],
+        ) -> Vec<FlatTuple> {
+            let mut results = Vec::new();
+            let mut bound: Vec<(AttrRef, Value)> = Vec::new();
+            for (stored_side, probe_side) in resolved {
+                match probe.get(probe_side) {
+                    Some(v) => bound.push((*stored_side, v.clone())),
+                    None => return results,
+                }
+            }
+            let candidate_idx: Vec<usize> = match bound.first() {
+                Some((attr, value)) => self.candidates(attr, value),
+                None => (0..self.tuples.len()).collect(),
+            };
+            'cand: for idx in candidate_idx {
+                let stored = &self.tuples[idx];
+                if stored.ts >= probe.ts || !window.contains(probe.ts, stored.ts) {
+                    continue;
+                }
+                for (attr, value) in &bound {
+                    match stored.get(attr) {
+                        Some(v) if v.join_eq(value) => {}
+                        _ => continue 'cand,
+                    }
+                }
+                results.push(stored.clone());
+            }
+            results
+        }
+
+        fn is_empty(&self) -> bool {
+            self.tuples.is_empty()
+        }
+
+        /// Drain-and-rebuild expiry plus full index rebuild, as the seed
+        /// did on every expiry wave.
+        pub fn expire(&mut self, horizon: Timestamp, indexed_attrs: &[AttrRef]) -> usize {
+            if self.tuples.iter().all(|t| t.ts >= horizon) {
+                return 0;
+            }
+            let before = self.tuples.len();
+            let retained: Vec<FlatTuple> =
+                self.tuples.drain(..).filter(|t| t.ts >= horizon).collect();
+            self.indexes.clear();
+            self.bytes = 0;
+            for t in retained {
+                self.bytes += t.approx_size_bytes();
+                self.tuples.push(t);
+            }
+            let tuples = std::mem::take(&mut self.tuples);
+            for (idx, tuple) in tuples.iter().enumerate() {
+                for attr in indexed_attrs {
+                    if let Some(value) = tuple.get(attr) {
+                        self.indexes
+                            .entry(*attr)
+                            .or_default()
+                            .entry(value.clone())
+                            .or_default()
+                            .push(idx);
+                    }
+                }
+            }
+            self.tuples = tuples;
+            before - self.tuples.len()
+        }
+    }
+
+    /// The seed `StoreInstance` shell around the container: a single
+    /// partition of epoch-keyed containers, so the baseline pays the same
+    /// epoch-map bookkeeping as the live store and only the representation
+    /// differs.
+    #[derive(Debug, Default)]
+    pub struct FlatStore {
+        epochs: HashMap<clash_common::Epoch, FlatContainer>,
+    }
+
+    impl FlatStore {
+        pub fn insert(
+            &mut self,
+            epoch: clash_common::Epoch,
+            tuple: FlatTuple,
+            indexed_attrs: &[AttrRef],
+        ) {
+            self.epochs
+                .entry(epoch)
+                .or_default()
+                .insert(tuple, indexed_attrs);
+        }
+
+        pub fn probe(
+            &self,
+            epochs: &[clash_common::Epoch],
+            window: Window,
+            probe: &FlatTuple,
+            resolved: &[(AttrRef, AttrRef)],
+        ) -> Vec<FlatTuple> {
+            let mut results = Vec::new();
+            for epoch in epochs {
+                if let Some(container) = self.epochs.get(epoch) {
+                    results.extend(container.probe(window, probe, resolved));
+                }
+            }
+            results
+        }
+
+        pub fn expire(&mut self, horizon: Timestamp, indexed_attrs: &[AttrRef]) -> usize {
+            let mut removed = 0;
+            for container in self.epochs.values_mut() {
+                removed += container.expire(horizon, indexed_attrs);
+            }
+            self.epochs.retain(|_, c| !c.is_empty());
+            removed
+        }
+
+        pub fn len(&self) -> usize {
+            self.epochs.values().map(|c| c.tuples.len()).sum()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+/// One microbench result: baseline (seed representation) vs. optimized
+/// (live code) operations per second.
+#[derive(Debug, Clone)]
+pub struct MicroRow {
+    /// Suite name.
+    pub name: &'static str,
+    /// What one "operation" is.
+    pub unit: &'static str,
+    /// Seed-representation ops/s (best of [`BEST_OF`]).
+    pub baseline_ops_per_sec: f64,
+    /// Live-code ops/s (best of [`BEST_OF`]).
+    pub optimized_ops_per_sec: f64,
+}
+
+impl MicroRow {
+    /// optimized / baseline.
+    pub fn speedup(&self) -> f64 {
+        if self.baseline_ops_per_sec > 0.0 {
+            self.optimized_ops_per_sec / self.baseline_ops_per_sec
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Full hotpath report: microbenches plus the Fig. 7 end-to-end replay.
+#[derive(Debug, Clone)]
+pub struct HotpathReport {
+    /// Iterations per microbench run.
+    pub iters: usize,
+    /// Stream length of the end-to-end section.
+    pub fig7_tuples: usize,
+    /// Microbench rows.
+    pub micro: Vec<MicroRow>,
+    /// Fig. 7 five-query rows on the optimized engine.
+    pub fig7: Vec<Fig7Row>,
+}
+
+fn best_of<F: FnMut() -> f64>(mut run: F) -> f64 {
+    (0..BEST_OF).map(|_| run()).fold(0.0, f64::max)
+}
+
+/// The 5 base tuples of the join-chain suites: a TPC-H-flavored chain
+/// R0 ⋈ R1 ⋈ R2 ⋈ R3 ⋈ R4 with 3 attributes each (key, payload int,
+/// payload string).
+fn chain_bases() -> Vec<Vec<(AttrRef, Value)>> {
+    (0..5u32)
+        .map(|r| {
+            let rel = RelationId::new(r);
+            vec![
+                (AttrRef::new(rel, AttrId::new(0)), Value::Int(42)),
+                (
+                    AttrRef::new(rel, AttrId::new(1)),
+                    Value::Int(1_000 + r as i64),
+                ),
+                (
+                    AttrRef::new(rel, AttrId::new(2)),
+                    Value::str("status-flag-payload"),
+                ),
+            ]
+        })
+        .collect()
+}
+
+/// 5-way join chain: fold the bases into one result, `iters` times.
+pub fn bench_join_chain(iters: usize) -> MicroRow {
+    let bases = chain_bases();
+    let flat: Vec<flat::FlatTuple> = bases
+        .iter()
+        .enumerate()
+        .map(|(i, vals)| {
+            flat::FlatTuple::base(
+                RelationId::new(i as u32),
+                Timestamp::from_millis(10 * (i as u64 + 1)),
+                vals.clone(),
+            )
+        })
+        .collect();
+    let rope: Vec<Tuple> = bases
+        .iter()
+        .enumerate()
+        .map(|(i, vals)| {
+            Tuple::base(
+                RelationId::new(i as u32),
+                Timestamp::from_millis(10 * (i as u64 + 1)),
+                vals.clone(),
+            )
+        })
+        .collect();
+    // Correctness cross-check before timing.
+    let f5 = flat[1..]
+        .iter()
+        .fold(flat[0].clone(), |acc, t| acc.join(t).expect("disjoint"));
+    let r5 = rope[1..]
+        .iter()
+        .fold(rope[0].clone(), |acc, t| acc.join(t).expect("disjoint"));
+    assert_eq!(f5.values.len(), r5.arity());
+    for (attr, value) in f5.values.iter() {
+        assert_eq!(r5.get(attr), Some(value));
+    }
+
+    let baseline = best_of(|| {
+        let started = Instant::now();
+        for _ in 0..iters {
+            let joined = flat[1..]
+                .iter()
+                .fold(flat[0].clone(), |acc, t| acc.join(t).expect("disjoint"));
+            std::hint::black_box(&joined);
+        }
+        iters as f64 / started.elapsed().as_secs_f64()
+    });
+    let optimized = best_of(|| {
+        let started = Instant::now();
+        for _ in 0..iters {
+            let joined = rope[1..]
+                .iter()
+                .fold(rope[0].clone(), |acc, t| acc.join(t).expect("disjoint"));
+            std::hint::black_box(&joined);
+        }
+        iters as f64 / started.elapsed().as_secs_f64()
+    });
+    MicroRow {
+        name: "join_chain_5way",
+        unit: "five_way_results_per_sec",
+        baseline_ops_per_sec: baseline,
+        optimized_ops_per_sec: optimized,
+    }
+}
+
+/// Attribute lookups on the 5-way result: one probe-predicate-style read
+/// per constituent relation per iteration.
+pub fn bench_probe_get(iters: usize) -> MicroRow {
+    let bases = chain_bases();
+    let flat5 = bases
+        .iter()
+        .enumerate()
+        .map(|(i, vals)| {
+            flat::FlatTuple::base(
+                RelationId::new(i as u32),
+                Timestamp::from_millis(10),
+                vals.clone(),
+            )
+        })
+        .reduce(|acc, t| acc.join(&t).expect("disjoint"))
+        .expect("nonempty");
+    let rope5 = bases
+        .iter()
+        .enumerate()
+        .map(|(i, vals)| {
+            Tuple::base(
+                RelationId::new(i as u32),
+                Timestamp::from_millis(10),
+                vals.clone(),
+            )
+        })
+        .reduce(|acc, t| acc.join(&t).expect("disjoint"))
+        .expect("nonempty");
+    // Look up the *last* attribute of every relation (worst case for the
+    // linear scan, representative for predicate evaluation).
+    let attrs: Vec<AttrRef> = (0..5u32)
+        .map(|r| AttrRef::new(RelationId::new(r), AttrId::new(2)))
+        .collect();
+    let slots: Vec<SlotAccessor> = attrs.iter().map(SlotAccessor::of).collect();
+    for (attr, slot) in attrs.iter().zip(&slots) {
+        assert_eq!(flat5.get(attr), slot.get(&rope5));
+    }
+
+    let lookups = attrs.len();
+    let baseline = best_of(|| {
+        let started = Instant::now();
+        for _ in 0..iters {
+            for attr in &attrs {
+                std::hint::black_box(flat5.get(attr));
+            }
+        }
+        (iters * lookups) as f64 / started.elapsed().as_secs_f64()
+    });
+    let optimized = best_of(|| {
+        let started = Instant::now();
+        for _ in 0..iters {
+            for slot in &slots {
+                std::hint::black_box(slot.get(&rope5));
+            }
+        }
+        (iters * lookups) as f64 / started.elapsed().as_secs_f64()
+    });
+    MicroRow {
+        name: "probe_get",
+        unit: "lookups_per_sec",
+        baseline_ops_per_sec: baseline,
+        optimized_ops_per_sec: optimized,
+    }
+}
+
+/// The store-suite schema: stored relation S(0) with key attribute S.a,
+/// probing relation R(1) with key R.a, predicate S.a = R.a.
+fn store_fixture() -> (AttrRef, AttrRef, EquiPredicate) {
+    let stored_key = AttrRef::new(RelationId::new(0), AttrId::new(0));
+    let probe_key = AttrRef::new(RelationId::new(1), AttrId::new(0));
+    (
+        stored_key,
+        probe_key,
+        EquiPredicate::new(stored_key, probe_key),
+    )
+}
+
+fn stored_tuple_pairs(i: usize, key_domain: usize) -> Vec<(AttrRef, Value)> {
+    let rel = RelationId::new(0);
+    vec![
+        (
+            AttrRef::new(rel, AttrId::new(0)),
+            Value::Int((i % key_domain) as i64),
+        ),
+        (AttrRef::new(rel, AttrId::new(1)), Value::Int(i as i64)),
+        (AttrRef::new(rel, AttrId::new(2)), Value::str("payload")),
+    ]
+}
+
+fn fresh_store(window: Window, stored_key: AttrRef) -> StoreInstance {
+    StoreInstance::new(
+        StoreDescriptor::unpartitioned(RelationSet::singleton(RelationId::new(0))),
+        window,
+        vec![stored_key],
+    )
+}
+
+/// Inserts into an indexed container. Tuples are pre-built outside the
+/// timed region (both representations arrive at a store as already-routed
+/// tuples), so the suite isolates the insert path: size accounting, index
+/// maintenance and the container push.
+pub fn bench_store_insert(n: usize) -> MicroRow {
+    let (stored_key, _, _) = store_fixture();
+    let window = Window::secs(3_600);
+    let key_domain = (n / 8).max(1);
+    let flat_tuples: Vec<flat::FlatTuple> = (0..n)
+        .map(|i| {
+            flat::FlatTuple::base(
+                RelationId::new(0),
+                Timestamp::from_millis(i as u64),
+                stored_tuple_pairs(i, key_domain),
+            )
+        })
+        .collect();
+    let rope_tuples: Vec<Tuple> = (0..n)
+        .map(|i| {
+            Tuple::base(
+                RelationId::new(0),
+                Timestamp::from_millis(i as u64),
+                stored_tuple_pairs(i, key_domain),
+            )
+        })
+        .collect();
+
+    let baseline = best_of(|| {
+        let mut store = flat::FlatStore::default();
+        let started = Instant::now();
+        for tuple in &flat_tuples {
+            store.insert(Epoch(0), tuple.clone(), &[stored_key]);
+        }
+        let tps = n as f64 / started.elapsed().as_secs_f64();
+        assert_eq!(store.len(), n);
+        tps
+    });
+    let optimized = best_of(|| {
+        let mut store = fresh_store(window, stored_key);
+        let started = Instant::now();
+        for tuple in &rope_tuples {
+            store.insert(0, Epoch(0), tuple.clone());
+        }
+        let tps = n as f64 / started.elapsed().as_secs_f64();
+        assert_eq!(store.len(), n);
+        tps
+    });
+    MicroRow {
+        name: "store_insert",
+        unit: "inserts_per_sec",
+        baseline_ops_per_sec: baseline,
+        optimized_ops_per_sec: optimized,
+    }
+}
+
+/// Index-driven probes against a filled container (includes the candidate
+/// lookup: cloned postings in the baseline, borrowed in the live store).
+pub fn bench_store_probe(n: usize, probes: usize) -> MicroRow {
+    let (stored_key, probe_key, predicate) = store_fixture();
+    let window = Window::secs(3_600);
+    let key_domain = (n / 8).max(1);
+
+    let mut flat_store = flat::FlatStore::default();
+    let mut store = fresh_store(window, stored_key);
+    for i in 0..n {
+        let pairs = stored_tuple_pairs(i, key_domain);
+        flat_store.insert(
+            Epoch(0),
+            flat::FlatTuple::base(
+                RelationId::new(0),
+                Timestamp::from_millis(i as u64),
+                pairs.clone(),
+            ),
+            &[stored_key],
+        );
+        store.insert(
+            0,
+            Epoch(0),
+            Tuple::base(RelationId::new(0), Timestamp::from_millis(i as u64), pairs),
+        );
+    }
+    let probe_ts = Timestamp::from_millis(n as u64 + 10);
+    let probe_pairs = |k: usize| {
+        vec![(
+            AttrRef::new(RelationId::new(1), AttrId::new(0)),
+            Value::Int((k % key_domain) as i64),
+        )]
+    };
+    // Pre-built probe tuples: the suite times the probe path, not tuple
+    // construction.
+    let flat_probes: Vec<flat::FlatTuple> = (0..probes)
+        .map(|k| flat::FlatTuple::base(RelationId::new(1), probe_ts, probe_pairs(k)))
+        .collect();
+    let rope_probes: Vec<Tuple> = (0..probes)
+        .map(|k| Tuple::base(RelationId::new(1), probe_ts, probe_pairs(k)))
+        .collect();
+    // Correctness cross-check: identical match counts on every key.
+    for k in [0usize, 1, key_domain / 2] {
+        let fp = flat::FlatTuple::base(RelationId::new(1), probe_ts, probe_pairs(k));
+        let rp = Tuple::base(RelationId::new(1), probe_ts, probe_pairs(k));
+        let fm = flat_store.probe(&[Epoch(0)], window, &fp, &[(stored_key, probe_key)]);
+        let rm = store.probe(0, &[Epoch(0)], &rp, std::slice::from_ref(&predicate));
+        assert_eq!(fm.len(), rm.len(), "probe key {k}");
+    }
+
+    let baseline = best_of(|| {
+        let started = Instant::now();
+        for probe in &flat_probes {
+            std::hint::black_box(flat_store.probe(
+                &[Epoch(0)],
+                window,
+                probe,
+                &[(stored_key, probe_key)],
+            ));
+        }
+        probes as f64 / started.elapsed().as_secs_f64()
+    });
+    let optimized = best_of(|| {
+        let started = Instant::now();
+        for probe in &rope_probes {
+            std::hint::black_box(store.probe(
+                0,
+                &[Epoch(0)],
+                probe,
+                std::slice::from_ref(&predicate),
+            ));
+        }
+        probes as f64 / started.elapsed().as_secs_f64()
+    });
+    MicroRow {
+        name: "store_probe",
+        unit: "probes_per_sec",
+        baseline_ops_per_sec: baseline,
+        optimized_ops_per_sec: optimized,
+    }
+}
+
+/// Window expiry over a filled container: repeated waves each dropping
+/// the oldest slice (drain-and-rebuild vs. in-place incremental repair).
+pub fn bench_store_expire(n: usize) -> MicroRow {
+    let (stored_key, _, _) = store_fixture();
+    let window = Window::secs(3_600);
+    let key_domain = (n / 8).max(1);
+    let waves = 8usize;
+    let tuples: Vec<Vec<(AttrRef, Value)>> =
+        (0..n).map(|i| stored_tuple_pairs(i, key_domain)).collect();
+
+    let baseline = best_of(|| {
+        let mut store = flat::FlatStore::default();
+        for (i, pairs) in tuples.iter().enumerate() {
+            store.insert(
+                Epoch(0),
+                flat::FlatTuple::base(
+                    RelationId::new(0),
+                    Timestamp::from_millis(i as u64),
+                    pairs.clone(),
+                ),
+                &[stored_key],
+            );
+        }
+        let started = Instant::now();
+        let mut removed = 0usize;
+        for wave in 1..=waves {
+            let horizon = Timestamp::from_millis((n * wave / (waves + 1)) as u64);
+            removed += store.expire(horizon, &[stored_key]);
+        }
+        let ops = n as f64 / started.elapsed().as_secs_f64();
+        assert!(removed > 0);
+        ops
+    });
+    let optimized = best_of(|| {
+        let mut store = fresh_store(window, stored_key);
+        for (i, pairs) in tuples.iter().enumerate() {
+            store.insert(
+                0,
+                Epoch(0),
+                Tuple::base(
+                    RelationId::new(0),
+                    Timestamp::from_millis(i as u64),
+                    pairs.clone(),
+                ),
+            );
+        }
+        let started = Instant::now();
+        let mut removed = 0usize;
+        for wave in 1..=waves {
+            let horizon = Timestamp::from_millis((n * wave / (waves + 1)) as u64);
+            removed += store.expire(horizon);
+        }
+        let ops = n as f64 / started.elapsed().as_secs_f64();
+        assert!(removed > 0);
+        ops
+    });
+    MicroRow {
+        name: "store_expire",
+        unit: "stored_tuples_per_sec",
+        baseline_ops_per_sec: baseline,
+        optimized_ops_per_sec: optimized,
+    }
+}
+
+/// Runs every suite plus the Fig. 7 end-to-end replay.
+pub fn run_hotpath(iters: usize, fig7_tuples: usize) -> HotpathReport {
+    let store_n = (iters / 4).clamp(512, 200_000);
+    let micro = vec![
+        bench_join_chain(iters),
+        bench_probe_get(iters),
+        bench_store_insert(store_n),
+        bench_store_probe(store_n, (iters / 2).max(256)),
+        bench_store_expire(store_n),
+    ];
+    let fig7 = run_fig7(5, fig7_tuples, 0.002, 42);
+    HotpathReport {
+        iters,
+        fig7_tuples,
+        micro,
+        fig7,
+    }
+}
+
+/// Renders the report as a JSON document. Hand-rolled because the
+/// vendored serde stub cannot serialize; every string is a fixed
+/// identifier, so no escaping is required.
+pub fn report_to_json(report: &HotpathReport) -> String {
+    let mut out = String::with_capacity(2_048);
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"hotpath\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"iters\": {}, \"fig7_tuples\": {}, \"best_of\": {}}},\n",
+        report.iters, report.fig7_tuples, BEST_OF
+    ));
+    out.push_str("  \"micro\": [\n");
+    for (i, row) in report.micro.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"unit\": \"{}\", \"baseline_ops_per_sec\": {:.1}, \
+             \"optimized_ops_per_sec\": {:.1}, \"speedup\": {:.3}}}{}\n",
+            row.name,
+            row.unit,
+            row.baseline_ops_per_sec,
+            row.optimized_ops_per_sec,
+            row.speedup(),
+            if i + 1 < report.micro.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"fig7\": [\n");
+    for (i, row) in report.fig7.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"num_queries\": {}, \"strategy\": \"{}\", \"throughput_tps\": {:.1}, \
+             \"memory_mb\": {:.3}, \"latency_ms\": {:.3}, \"results\": {}, \"tuples_sent\": {}}}{}\n",
+            row.num_queries,
+            row.strategy,
+            row.throughput_tps,
+            row.memory_mb,
+            row.latency_ms,
+            row.results,
+            row.tuples_sent,
+            if i + 1 < report.fig7.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_run_and_report_positive_rates() {
+        // Tiny iteration counts: this validates plumbing and the
+        // correctness cross-checks inside each suite, not timings.
+        for row in [
+            bench_join_chain(200),
+            bench_probe_get(200),
+            bench_store_insert(512),
+            bench_store_probe(512, 256),
+            bench_store_expire(512),
+        ] {
+            assert!(
+                row.baseline_ops_per_sec > 0.0 && row.optimized_ops_per_sec > 0.0,
+                "{} produced a non-positive rate",
+                row.name
+            );
+        }
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let report = HotpathReport {
+            iters: 10,
+            fig7_tuples: 0,
+            micro: vec![MicroRow {
+                name: "join_chain_5way",
+                unit: "five_way_results_per_sec",
+                baseline_ops_per_sec: 1.0,
+                optimized_ops_per_sec: 2.0,
+            }],
+            fig7: Vec::new(),
+        };
+        let json = report_to_json(&report);
+        assert!(json.contains("\"speedup\": 2.000"));
+        // Balanced braces/brackets (no serde_json in the offline build).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -18,6 +18,7 @@ pub mod ablation;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod hotpath;
 
 /// Prints a slice of serializable rows as aligned text plus one JSON line
 /// per row (machine-readable output consumed by EXPERIMENTS.md tooling).

@@ -24,5 +24,5 @@ pub use ids::{AttrId, EdgeId, QueryId, RelationId, StoreId, WorkerId};
 pub use relation_set::RelationSet;
 pub use schema::{AttrRef, Attribute, Schema, SchemaRef};
 pub use time::{Duration, Epoch, EpochConfig, Timestamp, Window};
-pub use tuple::{Tuple, TupleBuilder};
+pub use tuple::{SlotAccessor, Tuple, TupleBuilder, TupleIter, MAX_ATTRS_PER_RELATION};
 pub use value::Value;

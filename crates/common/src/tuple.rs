@@ -1,4 +1,4 @@
-//! Stream tuples and (partial) join results.
+//! Stream tuples and (partial) join results — the zero-copy rope core.
 //!
 //! A [`Tuple`] is either a base tuple of one streamed relation or the
 //! concatenation of base tuples from several relations (a partial or full
@@ -10,10 +10,31 @@
 //!   results the maximum of the constituents' timestamps (the time at which
 //!   the result could first be produced, cf. Figure 1 of the paper).
 //!
-//! Values are stored behind an `Arc` so that routing a tuple to several
-//! stores (sharing between probe orders, broadcasts) only copies a pointer.
+//! # Memory model
+//!
+//! The payload is a **rope**: a leaf holds the values of one base
+//! relation densely indexed by [`AttrId`](crate::ids::AttrId), and a join
+//! node holds two `Arc`ed sub-ropes. [`Tuple::join`] therefore performs a
+//! single allocation (the new join node) and two reference-count bumps,
+//! never copying attribute values — the per-hop cost of a probe order is
+//! O(1) instead of O(total arity). Every store a partial result is routed
+//! to shares the same leaves.
+//!
+//! Lookup is positional: a leaf stores its values at their schema slot, so
+//! [`Tuple::get`] descends the rope by relation-set membership (O(join
+//! depth), at most the number of constituent relations) and then indexes
+//! the leaf directly — no linear scan over `(AttrRef, Value)` pairs.
+//! [`SlotAccessor`] packages the precomputed slot of one attribute so hot
+//! paths (index maintenance, probe predicates) resolve the offset once per
+//! store instead of once per lookup.
+//!
+//! Sizes are cached bottom-up at construction, so
+//! [`Tuple::approx_size_bytes`] is O(1) and reports the *flattened*
+//! (logical / serialized) payload size — the bytes a distributed
+//! deployment would ship and store, regardless of structural sharing.
 
-use crate::ids::RelationId;
+use crate::error::{ClashError, Result};
+use crate::ids::{AttrId, RelationId};
 use crate::relation_set::RelationSet;
 use crate::schema::{AttrRef, Schema};
 use crate::time::Timestamp;
@@ -22,8 +43,126 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
+/// Maximum number of attributes per relation the dense leaf layout
+/// supports (presence bits live in a `u64`).
+pub const MAX_ATTRS_PER_RELATION: usize = 64;
+
+/// Fixed per-tuple header charge of [`Tuple::approx_size_bytes`].
+const SIZE_HEADER: usize = 32;
+
+/// Per-attribute charge of [`Tuple::approx_size_bytes`], mirroring the
+/// seed's `(AttrRef, Value)`-pair accounting so Fig. 7c series remain
+/// comparable across representations.
+fn per_entry_bytes() -> usize {
+    std::mem::size_of::<(AttrRef, Value)>()
+}
+
+/// One leaf of the rope: the values of a single base relation, stored
+/// densely at their [`AttrId`] slots. Slots never written hold
+/// `Value::Null` and have their presence bit cleared, so "attribute not
+/// set" and "attribute set to NULL" stay distinguishable.
+#[derive(Debug)]
+struct BaseLeaf {
+    relation: RelationId,
+    /// Presence bitmap over `values` slots.
+    present: u64,
+    /// Values indexed by `AttrId`; width is the highest set slot + 1.
+    values: Box<[Value]>,
+    /// Cached flattened payload bytes of this leaf.
+    bytes: usize,
+}
+
+impl BaseLeaf {
+    fn new(relation: RelationId, pairs: Vec<(AttrRef, Value)>) -> BaseLeaf {
+        let width = pairs
+            .iter()
+            .filter(|(a, _)| a.relation == relation)
+            .map(|(a, _)| a.attr.index() + 1)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            width <= MAX_ATTRS_PER_RELATION,
+            "attribute slot {} exceeds the {MAX_ATTRS_PER_RELATION}-attribute leaf limit",
+            width.saturating_sub(1)
+        );
+        let mut values: Vec<Value> = (0..width).map(|_| Value::Null).collect();
+        let mut present = 0u64;
+        let mut bytes = 0usize;
+        for (attr, value) in pairs {
+            debug_assert!(
+                attr.relation == relation,
+                "attribute {attr} does not belong to relation {relation}"
+            );
+            if attr.relation != relation {
+                continue;
+            }
+            let slot = attr.attr.index();
+            let bit = 1u64 << slot;
+            // First write wins, matching the seed's linear `find` lookup
+            // semantics for (accidental) duplicate attributes.
+            if present & bit == 0 {
+                present |= bit;
+                bytes += per_entry_bytes() + value.approx_size_bytes();
+                values[slot] = value;
+            }
+        }
+        BaseLeaf {
+            relation,
+            present,
+            values: values.into_boxed_slice(),
+            bytes,
+        }
+    }
+
+    fn slot(&self, slot: usize) -> Option<&Value> {
+        if slot < MAX_ATTRS_PER_RELATION && self.present & (1u64 << slot) != 0 {
+            self.values.get(slot)
+        } else {
+            None
+        }
+    }
+
+    fn arity(&self) -> usize {
+        self.present.count_ones() as usize
+    }
+}
+
+/// A node of the payload rope.
+#[derive(Debug)]
+enum Node {
+    /// Values of one base relation.
+    Base(BaseLeaf),
+    /// Concatenation of two disjoint sub-ropes.
+    Join {
+        left: Arc<Node>,
+        /// Relations covered by `left` (steers the positional descent).
+        left_relations: RelationSet,
+        right: Arc<Node>,
+        /// Cached total attribute count.
+        arity: usize,
+        /// Cached flattened payload bytes of both sides.
+        bytes: usize,
+    },
+}
+
+impl Node {
+    fn arity(&self) -> usize {
+        match self {
+            Node::Base(leaf) => leaf.arity(),
+            Node::Join { arity, .. } => *arity,
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        match self {
+            Node::Base(leaf) => leaf.bytes,
+            Node::Join { bytes, .. } => *bytes,
+        }
+    }
+}
+
 /// A stream tuple or partial join result.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Tuple {
     /// Timestamp `τ`: arrival time for base tuples, max constituent
     /// timestamp for join results.
@@ -33,8 +172,8 @@ pub struct Tuple {
     pub ingest_ts: Timestamp,
     /// The base relations whose attributes this tuple carries.
     pub relations: RelationSet,
-    /// Attribute values.
-    values: Arc<Vec<(AttrRef, Value)>>,
+    /// Payload rope (shared between join results and their constituents).
+    node: Arc<Node>,
 }
 
 impl Tuple {
@@ -44,23 +183,50 @@ impl Tuple {
             ts,
             ingest_ts: ts,
             relations: RelationSet::singleton(relation),
-            values: Arc::new(values),
+            node: Arc::new(Node::Base(BaseLeaf::new(relation, values))),
         }
     }
 
-    /// Looks up a value by fully qualified attribute reference.
+    /// Looks up a value by fully qualified attribute reference: a
+    /// relation-set-guided descent to the owning leaf followed by a
+    /// positional slot read — no linear scan. (One-shot form of
+    /// [`SlotAccessor::get`]; hot paths precompute the accessor instead.)
     pub fn get(&self, attr: &AttrRef) -> Option<&Value> {
-        self.values.iter().find(|(a, _)| a == attr).map(|(_, v)| v)
+        SlotAccessor::of(attr).get(self)
     }
 
-    /// Number of attribute values carried.
+    /// Number of attribute values carried (cached; O(1)).
     pub fn arity(&self) -> usize {
-        self.values.len()
+        self.node.arity()
     }
 
-    /// Iterates over `(attribute, value)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (&AttrRef, &Value)> {
-        self.values.iter().map(|(a, v)| (a, v))
+    /// Number of join nodes on the longest root-to-leaf path (0 for base
+    /// tuples). Bounds the cost of a positional [`Tuple::get`].
+    pub fn depth(&self) -> usize {
+        fn depth_of(node: &Node) -> usize {
+            match node {
+                Node::Base(_) => 0,
+                Node::Join { left, right, .. } => 1 + depth_of(left).max(depth_of(right)),
+            }
+        }
+        depth_of(&self.node)
+    }
+
+    /// Iterates over `(attribute, value)` pairs in rope order: constituent
+    /// tuples left to right, attributes within a leaf in schema-slot order.
+    pub fn iter(&self) -> TupleIter<'_> {
+        TupleIter {
+            stack: vec![&self.node],
+            leaf: None,
+        }
+    }
+
+    /// Flattens the rope into owned `(attribute, value)` pairs — the
+    /// seed's convenience representation, used by the wire codec and as
+    /// the reference model in property tests. O(arity); never needed on
+    /// the probe hot path.
+    pub fn flatten(&self) -> Vec<(AttrRef, Value)> {
+        self.iter().map(|(a, v)| (a, v.clone())).collect()
     }
 
     /// `true` if this tuple covers more than one base relation, i.e. it is a
@@ -73,6 +239,10 @@ impl Tuple {
     /// result. The caller is responsible for having checked the join
     /// predicate; this method only merges payloads and timestamps.
     ///
+    /// Zero-copy: the result is a single new rope node referencing both
+    /// constituents' payloads — one allocation and two `Arc` bumps,
+    /// independent of arity.
+    ///
     /// Returns `None` when the relation sets overlap (joining a tuple with
     /// itself or with an overlapping partial result would be a logic error
     /// in the probe routing).
@@ -80,15 +250,33 @@ impl Tuple {
         if !self.relations.is_disjoint(&other.relations) {
             return None;
         }
-        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
-        values.extend(self.values.iter().cloned());
-        values.extend(other.values.iter().cloned());
         Some(Tuple {
             ts: self.ts.max(other.ts),
             ingest_ts: self.ingest_ts.max(other.ingest_ts),
             relations: self.relations.union(&other.relations),
-            values: Arc::new(values),
+            node: Arc::new(Node::Join {
+                left: Arc::clone(&self.node),
+                left_relations: self.relations,
+                right: Arc::clone(&other.node),
+                arity: self.node.arity() + other.node.arity(),
+                bytes: self.node.bytes() + other.node.bytes(),
+            }),
         })
+    }
+
+    /// `true` when `constituent`'s payload rope is shared (by pointer)
+    /// somewhere inside this tuple's rope — i.e. joining did not copy it.
+    pub fn shares_payload_with(&self, constituent: &Tuple) -> bool {
+        fn contains(node: &Arc<Node>, needle: &Arc<Node>) -> bool {
+            if Arc::ptr_eq(node, needle) {
+                return true;
+            }
+            match &**node {
+                Node::Base(_) => false,
+                Node::Join { left, right, .. } => contains(left, needle) || contains(right, needle),
+            }
+        }
+        contains(&self.node, &constituent.node)
     }
 
     /// Overrides the ingestion timestamp (used by the runtime when a tuple
@@ -99,31 +287,332 @@ impl Tuple {
         self
     }
 
-    /// Approximate memory footprint of the tuple payload in bytes,
-    /// counting attribute references and values. Used for the store memory
-    /// accounting behind Fig. 7c.
+    /// Approximate memory footprint of the *flattened* tuple payload in
+    /// bytes — the logical size a serialized copy would occupy, counting
+    /// attribute references and values. Cached at construction (O(1)).
+    /// Used for the store memory accounting behind Fig. 7c.
     pub fn approx_size_bytes(&self) -> usize {
-        let header = 32;
-        let per_entry = std::mem::size_of::<(AttrRef, Value)>();
-        header
-            + self
-                .values
+        SIZE_HEADER + self.node.bytes()
+    }
+
+    /// Encodes the tuple into the self-contained wire format (flattened
+    /// payload + timestamps + relation set). Stands in for serde in the
+    /// offline build, where the vendored serde stub cannot serialize.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.arity() * 16);
+        out.push(WIRE_VERSION);
+        out.extend_from_slice(&self.ts.as_millis().to_le_bytes());
+        out.extend_from_slice(&self.ingest_ts.as_millis().to_le_bytes());
+        out.extend_from_slice(&self.relations.bits().to_le_bytes());
+        out.extend_from_slice(&(self.arity() as u32).to_le_bytes());
+        for (attr, value) in self.iter() {
+            out.extend_from_slice(&attr.relation.0.to_le_bytes());
+            out.extend_from_slice(&attr.attr.0.to_le_bytes());
+            encode_value(value, &mut out);
+        }
+        out
+    }
+
+    /// Decodes a tuple from [`Tuple::to_wire`] bytes. The rebuilt rope has
+    /// one leaf per covered relation (joined left-to-right in relation-id
+    /// order), so round-tripping flattens deep ropes — equality is
+    /// preserved because [`PartialEq`] compares flattened content.
+    pub fn from_wire(bytes: &[u8]) -> Result<Tuple> {
+        let mut r = WireReader::new(bytes);
+        if r.u8()? != WIRE_VERSION {
+            return Err(ClashError::Runtime("unsupported tuple wire version".into()));
+        }
+        let ts = Timestamp::from_millis(r.u64()?);
+        let ingest_ts = Timestamp::from_millis(r.u64()?);
+        let relations = RelationSet::from_bits(r.u128()?);
+        let n = r.u32()? as usize;
+        // Every pair occupies at least 9 wire bytes (relation + attr +
+        // value tag), so an attribute count exceeding that bound is
+        // corrupt — reject it before trusting it as an allocation size.
+        if n > r.remaining() / 9 {
+            return Err(ClashError::Runtime(
+                "tuple wire attribute count exceeds buffer".into(),
+            ));
+        }
+        let mut pairs: Vec<(AttrRef, Value)> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let relation = RelationId::new(r.u32()?);
+            let attr_raw = r.u32()?;
+            // Leaf construction asserts on out-of-range slots; malformed
+            // wire data must surface as an error, not a panic.
+            if attr_raw as usize >= MAX_ATTRS_PER_RELATION {
+                return Err(ClashError::Runtime(format!(
+                    "tuple wire attribute slot {attr_raw} out of range"
+                )));
+            }
+            let attr = AttrId::new(attr_raw);
+            let value = decode_value(&mut r)?;
+            pairs.push((AttrRef::new(relation, attr), value));
+        }
+        // One leaf per relation of the set (relations carrying no
+        // attributes still contribute an empty leaf so the set survives).
+        let mut node: Option<(Arc<Node>, RelationSet)> = None;
+        for relation in relations.iter() {
+            let leaf_pairs: Vec<(AttrRef, Value)> = pairs
                 .iter()
-                .map(|(_, v)| per_entry + v.approx_size_bytes())
-                .sum::<usize>()
+                .filter(|(a, _)| a.relation == relation)
+                .cloned()
+                .collect();
+            let leaf = Arc::new(Node::Base(BaseLeaf::new(relation, leaf_pairs)));
+            node = Some(match node {
+                None => (leaf, RelationSet::singleton(relation)),
+                Some((left, left_relations)) => {
+                    let arity = left.arity() + leaf.arity();
+                    let bytes = left.bytes() + leaf.bytes();
+                    let joined = Arc::new(Node::Join {
+                        left,
+                        left_relations,
+                        right: leaf,
+                        arity,
+                        bytes,
+                    });
+                    let mut covered = left_relations;
+                    covered.insert(relation);
+                    (joined, covered)
+                }
+            });
+        }
+        let Some((node, covered)) = node else {
+            return Err(ClashError::Runtime("tuple covers no relation".into()));
+        };
+        if pairs.iter().any(|(a, _)| !covered.contains(a.relation)) {
+            return Err(ClashError::Runtime(
+                "tuple attribute outside its relation set".into(),
+            ));
+        }
+        Ok(Tuple {
+            ts,
+            ingest_ts,
+            relations,
+            node,
+        })
+    }
+}
+
+/// Content equality over the flattened `(attribute, value)` mapping plus
+/// timestamps and relation set — independent of rope shape, so a join
+/// result equals its wire-round-tripped (re-leafed) copy.
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Self) -> bool {
+        if self.ts != other.ts
+            || self.ingest_ts != other.ingest_ts
+            || self.relations != other.relations
+            || self.arity() != other.arity()
+        {
+            return false;
+        }
+        self.iter()
+            .all(|(attr, value)| other.get(&attr) == Some(value))
+    }
+}
+
+impl Eq for Tuple {}
+
+/// Iterator over the flattened `(attribute, value)` pairs of a rope.
+#[derive(Debug)]
+pub struct TupleIter<'a> {
+    /// Unvisited sub-ropes, rightmost at the bottom.
+    stack: Vec<&'a Arc<Node>>,
+    /// Leaf currently being drained: (leaf, next slot).
+    leaf: Option<(&'a BaseLeaf, usize)>,
+}
+
+impl<'a> Iterator for TupleIter<'a> {
+    type Item = (AttrRef, &'a Value);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some((leaf, slot)) = &mut self.leaf {
+                while *slot < leaf.values.len() {
+                    let s = *slot;
+                    *slot += 1;
+                    if leaf.present & (1u64 << s) != 0 {
+                        return Some((
+                            AttrRef::new(leaf.relation, AttrId::new(s as u32)),
+                            &leaf.values[s],
+                        ));
+                    }
+                }
+                self.leaf = None;
+            }
+            let node = self.stack.pop()?;
+            match &**node {
+                Node::Base(leaf) => self.leaf = Some((leaf, 0)),
+                Node::Join { left, right, .. } => {
+                    self.stack.push(right);
+                    self.stack.push(left);
+                }
+            }
+        }
     }
 }
 
 impl fmt::Display for Tuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "⟨τ={} ", self.ts)?;
-        for (i, (a, v)) in self.values.iter().enumerate() {
+        for (i, (a, v)) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
             write!(f, "{a}={v}")?;
         }
         write!(f, "⟩")
+    }
+}
+
+/// Precomputed positional accessor for one attribute: the owning relation
+/// plus the dense slot within that relation's leaf. The slot is fixed by
+/// the schema, so stores resolve it **once** (per indexed attribute, per
+/// probe predicate) and reuse it for every tuple, instead of re-deriving
+/// the offset — or worse, linearly scanning pairs — per lookup. The
+/// rope descent itself stays per-tuple because rope shapes vary with the
+/// probe order that built the tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotAccessor {
+    relation: RelationId,
+    slot: usize,
+}
+
+impl SlotAccessor {
+    /// Precomputes the accessor for an attribute reference.
+    pub fn of(attr: &AttrRef) -> SlotAccessor {
+        SlotAccessor {
+            relation: attr.relation,
+            slot: attr.attr.index(),
+        }
+    }
+
+    /// The attribute this accessor resolves.
+    pub fn attr(&self) -> AttrRef {
+        AttrRef::new(self.relation, AttrId::new(self.slot as u32))
+    }
+
+    /// Positional lookup on a tuple: relation-set descent to the leaf,
+    /// then a direct slot read.
+    pub fn get<'t>(&self, tuple: &'t Tuple) -> Option<&'t Value> {
+        if !tuple.relations.contains(self.relation) {
+            return None;
+        }
+        let mut node = &*tuple.node;
+        loop {
+            match node {
+                Node::Base(leaf) => {
+                    return if leaf.relation == self.relation {
+                        leaf.slot(self.slot)
+                    } else {
+                        None
+                    };
+                }
+                Node::Join {
+                    left,
+                    left_relations,
+                    right,
+                    ..
+                } => {
+                    node = if left_relations.contains(self.relation) {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+}
+
+// --- wire codec -----------------------------------------------------------
+
+const WIRE_VERSION: u8 = 1;
+
+fn encode_value(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(x) => {
+            out.push(3);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(4);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+fn decode_value(r: &mut WireReader<'_>) -> Result<Value> {
+    Ok(match r.u8()? {
+        0 => Value::Null,
+        1 => Value::Bool(r.u8()? != 0),
+        2 => Value::Int(i64::from_le_bytes(r.array()?)),
+        3 => Value::Float(f64::from_bits(u64::from_le_bytes(r.array()?))),
+        4 => {
+            let len = r.u32()? as usize;
+            let bytes = r.bytes(len)?;
+            let s = std::str::from_utf8(bytes)
+                .map_err(|_| ClashError::Runtime("invalid UTF-8 in tuple wire string".into()))?;
+            Value::str(s)
+        }
+        tag => {
+            return Err(ClashError::Runtime(format!(
+                "unknown value tag {tag} in tuple wire format"
+            )))
+        }
+    })
+}
+
+struct WireReader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> WireReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        WireReader { bytes }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.bytes.len() < n {
+            return Err(ClashError::Runtime("truncated tuple wire data".into()));
+        }
+        let (head, tail) = self.bytes.split_at(n);
+        self.bytes = tail;
+        Ok(head)
+    }
+
+    fn array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        Ok(self.bytes(N)?.try_into().expect("exact length"))
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.array::<1>()?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.array()?))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.array()?))
+    }
+
+    fn u128(&mut self) -> Result<u128> {
+        Ok(u128::from_le_bytes(self.array()?))
     }
 }
 
@@ -175,6 +664,10 @@ mod tests {
         Schema::new(RelationId::new(1), "S", ["a", "b"])
     }
 
+    fn schema_t() -> Schema {
+        Schema::new(RelationId::new(2), "T", ["b", "c"])
+    }
+
     fn r_tuple(a: i64, ts: u64) -> Tuple {
         TupleBuilder::new(&schema_r(), Timestamp::from_millis(ts))
             .set("a", a)
@@ -197,6 +690,7 @@ mod tests {
         assert_eq!(t.arity(), 2);
         assert_eq!(t.relations, RelationSet::singleton(RelationId::new(0)));
         assert!(!t.is_intermediate());
+        assert_eq!(t.depth(), 0);
     }
 
     #[test]
@@ -204,6 +698,9 @@ mod tests {
         let t = r_tuple(7, 100);
         let foreign = AttrRef::new(RelationId::new(5), AttrId::new(0));
         assert_eq!(t.get(&foreign), None);
+        // Unset slot of the own relation.
+        let unset = AttrRef::new(RelationId::new(0), AttrId::new(9));
+        assert_eq!(t.get(&unset), None);
     }
 
     #[test]
@@ -222,6 +719,33 @@ mod tests {
         let sr = s.join(&r).unwrap();
         assert_eq!(sr.relations, rs.relations);
         assert_eq!(sr.ts, rs.ts);
+    }
+
+    #[test]
+    fn join_is_zero_copy_and_shares_constituent_payloads() {
+        let r = r_tuple(1, 100);
+        let s = s_tuple(1, 9, 250);
+        let t = TupleBuilder::new(&schema_t(), Timestamp::from_millis(300))
+            .set("b", 9)
+            .set("c", 5)
+            .build();
+        let rs = r.join(&s).unwrap();
+        // The join result references the constituents' payload ropes by
+        // pointer — no per-attribute copying happened.
+        assert!(rs.shares_payload_with(&r));
+        assert!(rs.shares_payload_with(&s));
+        let rst = rs.join(&t).unwrap();
+        assert!(rst.shares_payload_with(&rs));
+        assert!(rst.shares_payload_with(&r));
+        assert!(rst.shares_payload_with(&s));
+        assert!(rst.shares_payload_with(&t));
+        assert!(!rs.shares_payload_with(&t));
+        assert_eq!(rst.depth(), 2);
+        // Every value is still reachable positionally.
+        let c_ref = schema_t().attr_ref("c").unwrap();
+        assert_eq!(rst.get(&c_ref), Some(&Value::Int(5)));
+        let a_ref = schema_r().attr_ref("a").unwrap();
+        assert_eq!(rst.get(&a_ref), Some(&Value::Int(1)));
     }
 
     #[test]
@@ -247,6 +771,12 @@ mod tests {
         let small = r_tuple(1, 0);
         let joined = small.join(&s_tuple(1, 2, 0)).unwrap();
         assert!(joined.approx_size_bytes() > small.approx_size_bytes());
+        // Join sizes are the sum of the flattened constituents (minus one
+        // shared header): structural sharing does not hide logical bytes.
+        assert_eq!(
+            joined.approx_size_bytes(),
+            small.approx_size_bytes() + s_tuple(1, 2, 0).approx_size_bytes() - SIZE_HEADER
+        );
     }
 
     #[test]
@@ -254,8 +784,100 @@ mod tests {
         let t = r_tuple(1, 0);
         let c = t.clone();
         assert_eq!(t, c);
-        // Arc payload: cloning does not deep copy (pointer equality).
-        assert!(Arc::ptr_eq(&t.values, &c.values));
+        // Rope payload: cloning does not deep copy (pointer equality).
+        assert!(Arc::ptr_eq(&t.node, &c.node));
+    }
+
+    #[test]
+    fn iter_yields_rope_order() {
+        let r = r_tuple(1, 10);
+        let s = s_tuple(1, 2, 20);
+        let rs = r.join(&s).unwrap();
+        let attrs: Vec<String> = rs.iter().map(|(a, _)| a.to_string()).collect();
+        assert_eq!(attrs, vec!["R0.a0", "R0.a1", "R1.a0", "R1.a1"]);
+        assert_eq!(rs.iter().count(), rs.arity());
+    }
+
+    #[test]
+    fn slot_accessor_matches_get() {
+        let r = r_tuple(3, 10);
+        let s = s_tuple(3, 4, 20);
+        let rs = r.join(&s).unwrap();
+        for (attr, value) in rs.iter() {
+            let slot = SlotAccessor::of(&attr);
+            assert_eq!(slot.get(&rs), Some(value));
+            assert_eq!(slot.attr(), attr);
+        }
+        let foreign = SlotAccessor::of(&AttrRef::new(RelationId::new(9), AttrId::new(0)));
+        assert_eq!(foreign.get(&rs), None);
+    }
+
+    #[test]
+    fn explicit_null_is_present_but_unset_slot_is_absent() {
+        let schema = schema_s();
+        let t = TupleBuilder::new(&schema, Timestamp::from_millis(1))
+            .set("a", Value::Null)
+            .build();
+        assert_eq!(t.get(&schema.attr_ref("a").unwrap()), Some(&Value::Null));
+        assert_eq!(t.get(&schema.attr_ref("b").unwrap()), None);
+        assert_eq!(t.arity(), 1);
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_content() {
+        let r = r_tuple(1, 100).with_ingest_ts(Timestamp::from_millis(123));
+        let s = s_tuple(1, 9, 250);
+        let t = TupleBuilder::new(&schema_t(), Timestamp::from_millis(300))
+            .set("b", 9)
+            .set("c", 5)
+            .build();
+        for tuple in [
+            r.clone(),
+            r.join(&s).unwrap(),
+            r.join(&s).unwrap().join(&t).unwrap(),
+        ] {
+            let decoded = Tuple::from_wire(&tuple.to_wire()).expect("round trip");
+            assert_eq!(decoded, tuple);
+            assert_eq!(decoded.ts, tuple.ts);
+            assert_eq!(decoded.ingest_ts, tuple.ingest_ts);
+            assert_eq!(decoded.relations, tuple.relations);
+            assert_eq!(decoded.approx_size_bytes(), tuple.approx_size_bytes());
+        }
+    }
+
+    #[test]
+    fn wire_rejects_garbage() {
+        assert!(Tuple::from_wire(&[]).is_err());
+        assert!(Tuple::from_wire(&[99, 0, 0]).is_err());
+        let mut truncated = r_tuple(1, 5).to_wire();
+        truncated.truncate(truncated.len() - 1);
+        assert!(Tuple::from_wire(&truncated).is_err());
+    }
+
+    #[test]
+    fn wire_rejects_hostile_counts_and_slots_without_panicking() {
+        // Header claiming u32::MAX attributes with an empty payload: must
+        // error out before allocating anything.
+        let mut huge_count = Vec::new();
+        huge_count.push(1u8); // version
+        huge_count.extend_from_slice(&0u64.to_le_bytes()); // ts
+        huge_count.extend_from_slice(&0u64.to_le_bytes()); // ingest_ts
+        huge_count.extend_from_slice(&1u128.to_le_bytes()); // relations {0}
+        huge_count.extend_from_slice(&u32::MAX.to_le_bytes()); // n
+        assert!(Tuple::from_wire(&huge_count).is_err());
+
+        // A pair with attribute slot 64 (beyond the leaf bitmap): must be
+        // an error, not the leaf constructor's assert.
+        let mut bad_slot = Vec::new();
+        bad_slot.push(1u8);
+        bad_slot.extend_from_slice(&0u64.to_le_bytes());
+        bad_slot.extend_from_slice(&0u64.to_le_bytes());
+        bad_slot.extend_from_slice(&1u128.to_le_bytes());
+        bad_slot.extend_from_slice(&1u32.to_le_bytes()); // n = 1
+        bad_slot.extend_from_slice(&0u32.to_le_bytes()); // relation 0
+        bad_slot.extend_from_slice(&64u32.to_le_bytes()); // attr slot 64
+        bad_slot.push(0u8); // Value::Null
+        assert!(Tuple::from_wire(&bad_slot).is_err());
     }
 
     #[test]

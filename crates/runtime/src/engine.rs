@@ -19,6 +19,7 @@ use clash_common::{
 };
 use clash_optimizer::{OutputAction, Rule, SendTarget, TopologyPlan};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Engine configuration.
@@ -31,6 +32,11 @@ pub struct EngineConfig {
     /// Keep emitted results in memory (useful for tests; experiments
     /// normally only count them).
     pub collect_results: bool,
+    /// Parallel runtime only: number of buffered root deliveries that
+    /// triggers a router flush. The coordinator coalesces per-ingest
+    /// `Batch` messages across ingests up to this size (epoch barriers
+    /// always flush); `1` restores send-per-ingest.
+    pub micro_batch: usize,
 }
 
 impl Default for EngineConfig {
@@ -39,6 +45,7 @@ impl Default for EngineConfig {
             epoch: EpochConfig::default(),
             expire_every: 1024,
             collect_results: false,
+            micro_batch: 64,
         }
     }
 }
@@ -110,7 +117,9 @@ pub(crate) fn indexed_attrs(plan: &TopologyPlan, store: StoreId) -> Vec<clash_co
 pub struct LocalEngine {
     catalog: Catalog,
     config: EngineConfig,
-    plan: TopologyPlan,
+    /// The installed plan, shared so rule sets can be borrowed on the
+    /// delivery hot path without cloning them per delivered tuple.
+    plan: Arc<TopologyPlan>,
     stores: HashMap<StoreId, StoreInstance>,
     metrics: EngineMetrics,
     stats: StatsCollector,
@@ -137,7 +146,7 @@ impl LocalEngine {
         let mut engine = LocalEngine {
             catalog,
             config,
-            plan: TopologyPlan::default(),
+            plan: Arc::new(TopologyPlan::default()),
             stores: HashMap::new(),
             metrics: EngineMetrics::default(),
             stats,
@@ -183,7 +192,7 @@ impl LocalEngine {
             new_stores.insert(def.id, instance);
         }
         self.stores = new_stores;
-        self.plan = plan;
+        self.plan = Arc::new(plan);
     }
 
     /// The currently installed plan.
@@ -261,7 +270,10 @@ impl LocalEngine {
         ingest_started: Instant,
         queue: &mut Vec<(SendTarget, Tuple)>,
     ) -> u64 {
-        let Some(rules) = self.plan.rules.get(&(target.store, target.edge)).cloned() else {
+        // Borrow the rule set through a local Arc handle: no per-delivery
+        // clone of the rules (predicates, outputs) on the hot path.
+        let plan = Arc::clone(&self.plan);
+        let Some(rules) = plan.rules.get(&(target.store, target.edge)) else {
             return 0;
         };
         let Some(store) = self.stores.get(&target.store) else {
@@ -284,7 +296,7 @@ impl LocalEngine {
 
         let epoch = self.config.epoch.epoch_of(tuple.ts);
         let mut emitted = 0u64;
-        for rule in &rules {
+        for rule in rules {
             match rule {
                 Rule::Store => {
                     let store = self.stores.get_mut(&target.store).expect("store exists");

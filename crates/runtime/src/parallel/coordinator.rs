@@ -4,9 +4,9 @@
 
 use crate::engine::{EngineConfig, EngineControl, ResultSink};
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
-use crate::parallel::router::{fan_out, symmetric_stores, Progress, RootHandle};
+use crate::parallel::router::{fan_out, symmetric_stores, BatchBuffer, Progress, RootHandle};
 use crate::parallel::shard::StoreLayout;
-use crate::parallel::worker::{run_worker, Delivery, WorkerAck, WorkerCtx, WorkerMsg};
+use crate::parallel::worker::{run_worker, WorkerAck, WorkerCtx, WorkerMsg};
 use crate::stats_collector::StatsCollector;
 use clash_catalog::Catalog;
 use clash_common::{ClashError, EpochConfig, QueryId, Result, StoreId, Timestamp, Tuple};
@@ -46,6 +46,8 @@ pub struct ParallelEngine {
     handles: Vec<JoinHandle<()>>,
     /// Next root sequence number (roots start at 1).
     next_seq: u64,
+    /// Micro-batch buffer coalescing per-ingest sends across ingests.
+    outbuf: BatchBuffer,
     metrics: EngineMetrics,
     stats: StatsCollector,
     results: Vec<(QueryId, Tuple)>,
@@ -125,6 +127,7 @@ impl ParallelEngine {
             progress,
             handles,
             next_seq: 1,
+            outbuf: BatchBuffer::new(workers, config.micro_batch),
             metrics: EngineMetrics::default(),
             stats: StatsCollector::new(config.epoch.length),
             results: Vec::new(),
@@ -155,6 +158,7 @@ impl ParallelEngine {
     pub fn set_sink(&mut self, sink: ResultSink) {
         self.sink = Some(sink);
         self.forward_results = true;
+        self.outbuf.flush(&self.senders);
         for s in &self.senders {
             let _ = s.send(WorkerMsg::ForwardResults(true));
         }
@@ -180,7 +184,6 @@ impl ParallelEngine {
         let seq = self.next_seq;
         self.next_seq += 1;
         let root = RootHandle::new(seq, self.progress.clone());
-        let mut batches: Vec<Vec<Delivery>> = (0..self.workers).map(|_| Vec::new()).collect();
         for target in self.plan.ingest_for(relation) {
             let Some((spec, deliveries)) = fan_out(
                 &self.plan,
@@ -198,20 +201,22 @@ impl ParallelEngine {
                 self.metrics.broadcasts += 1;
             }
             for (worker, delivery) in deliveries {
-                batches[worker].push(delivery);
+                self.outbuf.push(worker, delivery);
             }
         }
         root.release_bias();
-        for (worker, batch) in batches.into_iter().enumerate() {
-            if !batch.is_empty() {
-                self.senders[worker]
-                    .send(WorkerMsg::Batch(batch))
-                    .expect("worker alive");
-            }
+        // Micro-batching: ship the buffered deliveries only once the size
+        // trigger fires (or at the next barrier/expiry), coalescing many
+        // ingests into one channel message per worker.
+        if self.outbuf.is_full() {
+            self.outbuf.flush(&self.senders);
         }
 
         self.since_expiry += 1;
         if self.config.expire_every > 0 && self.since_expiry >= self.config.expire_every {
+            // Keep channel order: buffered inserts must reach the workers
+            // before the expiry that might otherwise run ahead of them.
+            self.outbuf.flush(&self.senders);
             for s in &self.senders {
                 let _ = s.send(WorkerMsg::Expire { upto: self.max_ts });
             }
@@ -225,6 +230,9 @@ impl ParallelEngine {
     /// Panics with a diagnostic if a worker thread has died — its roots
     /// would never complete and the drain would otherwise spin forever.
     fn barrier_drain(&mut self) {
+        // Ship any micro-batched deliveries first, or their roots could
+        // never complete and the drain would stall.
+        self.outbuf.flush(&self.senders);
         let last = self.next_seq - 1;
         let mut since_liveness_check = Instant::now();
         while self.progress.watermark() < last {
@@ -441,6 +449,7 @@ impl EngineControl for ParallelEngine {
 
 impl Drop for ParallelEngine {
     fn drop(&mut self) {
+        self.outbuf.flush(&self.senders);
         for s in &self.senders {
             let _ = s.send(WorkerMsg::Shutdown);
         }
@@ -654,6 +663,47 @@ mod tests {
                 psel > lsel * 0.5 && psel < lsel * 2.0 + 1e-12,
                 "selectivity {l}={r} diverges: local {lsel}, parallel {psel}"
             );
+        }
+    }
+
+    #[test]
+    fn micro_batch_sizes_do_not_change_results() {
+        // Send-per-ingest (1), mid-stream flushes (4) and barrier-only
+        // flushing (huge) must all produce the local engine's results.
+        let (catalog, queries, stats) = setup(4);
+        let planner = Planner::with_defaults(&catalog, &stats);
+        let report = planner.plan(&queries, Strategy::Shared).unwrap();
+        let base_config = EngineConfig {
+            collect_results: true,
+            ..EngineConfig::default()
+        };
+        let mut local = LocalEngine::new(catalog.clone(), report.plan.clone(), base_config);
+        for (relation, t) in workload(&catalog) {
+            local.ingest(relation, t).unwrap();
+        }
+        let mut lr: Vec<String> = local
+            .results()
+            .iter()
+            .map(|(q, t)| format!("{q}{t}"))
+            .collect();
+        lr.sort();
+        for micro_batch in [1usize, 4, 1 << 20] {
+            let config = EngineConfig {
+                micro_batch,
+                ..base_config
+            };
+            let mut engine = ParallelEngine::new(catalog.clone(), report.plan.clone(), config, 4);
+            for (relation, t) in workload(&catalog) {
+                engine.ingest(relation, t).unwrap();
+            }
+            engine.flush();
+            let mut pr: Vec<String> = engine
+                .results()
+                .iter()
+                .map(|(q, t)| format!("{q}{t}"))
+                .collect();
+            pr.sort();
+            assert_eq!(lr, pr, "micro_batch={micro_batch} result multisets");
         }
     }
 

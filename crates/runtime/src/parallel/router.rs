@@ -30,12 +30,13 @@
 //! The watermark doubles as the garbage-collection horizon for pending
 //! probers and as the drain condition for barriers.
 
-use crate::parallel::worker::Delivery;
+use crate::parallel::worker::{Delivery, WorkerMsg};
 use crate::store::partition_hash;
 use clash_common::{StoreId, Tuple};
 use clash_optimizer::{OutputAction, Rule, SendTarget, TopologyPlan};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -166,6 +167,62 @@ pub(crate) fn fan_out(
     Some((spec, deliveries))
 }
 
+/// Coalesces the coordinator's per-ingest deliveries into larger
+/// per-worker `Batch` messages, cutting per-message channel overhead on
+/// the ingest hot path (ROADMAP: micro-batching across ingests).
+///
+/// Deliveries append in ingest order and flush in ingest order, so the
+/// per-(store, partition) FIFO guarantee the correctness argument rests
+/// on is unchanged — batching only delays *when* a contiguous run of
+/// deliveries is handed to a worker, never reorders it. The coordinator
+/// flushes on the size trigger ([`BatchBuffer::is_full`]), before every
+/// drain barrier (epoch boundary, snapshot, install) and before expiry
+/// messages, so no delivery can be stranded behind a barrier.
+#[derive(Debug)]
+pub(crate) struct BatchBuffer {
+    per_worker: Vec<Vec<Delivery>>,
+    buffered: usize,
+    /// Size trigger: flush once this many deliveries are buffered
+    /// (`<= 1` restores the seed's send-per-ingest behavior).
+    capacity: usize,
+}
+
+impl BatchBuffer {
+    /// An empty buffer for `workers` targets with the given size trigger.
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        BatchBuffer {
+            per_worker: (0..workers).map(|_| Vec::new()).collect(),
+            buffered: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends one delivery for `worker`.
+    pub fn push(&mut self, worker: usize, delivery: Delivery) {
+        self.per_worker[worker].push(delivery);
+        self.buffered += 1;
+    }
+
+    /// `true` once the size trigger is reached.
+    pub fn is_full(&self) -> bool {
+        self.buffered >= self.capacity
+    }
+
+    /// Ships every buffered delivery as one `Batch` message per worker.
+    pub fn flush(&mut self, senders: &[Sender<WorkerMsg>]) {
+        if self.buffered == 0 {
+            return;
+        }
+        self.buffered = 0;
+        for (worker, batch) in self.per_worker.iter_mut().enumerate() {
+            if !batch.is_empty() {
+                // A send only fails after shutdown; deliveries are then moot.
+                let _ = senders[worker].send(WorkerMsg::Batch(std::mem::take(batch)));
+            }
+        }
+    }
+}
+
 /// Number of workers holding at least one partition of a store with the
 /// given parallelism (used to extrapolate shard-local store sizes for the
 /// statistics collector).
@@ -173,15 +230,35 @@ pub(crate) fn workers_of_store(parallelism: usize, workers: usize) -> usize {
     parallelism.max(1).min(workers)
 }
 
-/// Stores that receive `Store` deliveries through `Forward` actions, i.e.
-/// materialized intermediate-result stores maintained by sub-query probe
-/// orders. Base stores are only fed by the router itself, whose FIFO order
-/// already guarantees insert-before-probe visibility; forward-fed stores
-/// get their inserts from racing worker threads, so probes at them
-/// register as *pending probers* and late inserts retro-match them (the
-/// symmetric completion mechanism of the shard).
+/// Stores where a (probe, insert) pair can arrive over *different* sender
+/// paths, so channel FIFO alone cannot guarantee insert-before-probe
+/// visibility. Probes at these stores register as *pending probers* and
+/// late inserts retro-match them (the symmetric completion mechanism of
+/// the shard). Two cases qualify:
+///
+/// 1. **Forward-fed stores** — materialized intermediate-result stores
+///    whose `Store` deliveries come from racing worker threads while
+///    their probes may come straight from the coordinator.
+/// 2. **Stores probed through `Forward` actions** — a base store's
+///    inserts travel on the coordinator channel (possibly parked in the
+///    micro-batch buffer), while a partial result probing it is forwarded
+///    directly worker-to-worker and can overtake them.
+///
+/// Pairs where both sides ride the coordinator channel stay FIFO — the
+/// micro-batch buffer appends and flushes in ingest order — and need no
+/// registration. The exactly-once argument (match at probe time iff the
+/// insert was applied with a smaller guard, retroactively otherwise,
+/// GC once the watermark proves no earlier root is in flight) does not
+/// depend on *which* stores are symmetric, so widening the set is safe.
 pub(crate) fn symmetric_stores(plan: &TopologyPlan) -> HashSet<StoreId> {
-    let mut forward_fed: HashSet<StoreId> = HashSet::new();
+    // Stores that apply a `Store` rule on any edge.
+    let storing: HashSet<StoreId> = plan
+        .rules
+        .iter()
+        .filter(|(_, rules)| rules.iter().any(|r| matches!(r, Rule::Store)))
+        .map(|((store, _), _)| *store)
+        .collect();
+    let mut symmetric: HashSet<StoreId> = HashSet::new();
     for rules in plan.rules.values() {
         for rule in rules {
             let Rule::Probe { outputs, .. } = rule else {
@@ -191,18 +268,18 @@ pub(crate) fn symmetric_stores(plan: &TopologyPlan) -> HashSet<StoreId> {
                 let OutputAction::Forward(next) = action else {
                     continue;
                 };
-                let stores = plan
-                    .rules
-                    .get(&(next.store, next.edge))
-                    .map(|rs| rs.iter().any(|r| matches!(r, Rule::Store)))
-                    .unwrap_or(false);
-                if stores {
-                    forward_fed.insert(next.store);
+                let Some(next_rules) = plan.rules.get(&(next.store, next.edge)) else {
+                    continue;
+                };
+                let forward_stores = next_rules.iter().any(|r| matches!(r, Rule::Store));
+                let forward_probes = next_rules.iter().any(|r| matches!(r, Rule::Probe { .. }));
+                if forward_stores || (forward_probes && storing.contains(&next.store)) {
+                    symmetric.insert(next.store);
                 }
             }
         }
     }
-    forward_fed
+    symmetric
 }
 
 /// Global completion progress: the watermark `w` means every root with

@@ -10,10 +10,14 @@
 //!   position (`guard`) of the root that produced them and probes skip
 //!   state at or above their own guard, so racing ahead never matches
 //!   later arrivals.
-//! * **Symmetric pending probers** — at forward-fed (MIR) stores an
-//!   insert may arrive *after* a probe that should have observed it.
-//!   Probes at such stores therefore register as pending probers next to
-//!   the partition; when a late insert with a smaller guard lands, it
+//! * **Symmetric pending probers** — at stores where probes and inserts
+//!   can ride different sender paths (forward-fed MIR stores, and stores
+//!   probed by worker-forwarded partials while their inserts sit in the
+//!   coordinator's micro-batch buffer — see
+//!   [`crate::parallel::router::symmetric_stores`]) an insert may arrive
+//!   *after* a probe that should have observed it. Probes at such stores
+//!   therefore register as pending probers next to the partition, indexed
+//!   by join-key value; when a late insert with a smaller guard lands, it
 //!   retro-matches the registered probers locally and emits the missed
 //!   results through the same outputs. Every (probe, insert) pair matches
 //!   exactly once: at probe time if the insert was applied, retroactively
@@ -28,7 +32,8 @@ use crate::stats_collector::StatsCollector;
 use crate::store::StoreInstance;
 use clash_catalog::Catalog;
 use clash_common::{
-    AttrRef, EdgeId, Epoch, EpochConfig, QueryId, StoreId, Timestamp, Tuple, Window,
+    AttrRef, EdgeId, Epoch, EpochConfig, QueryId, SlotAccessor, StoreId, Timestamp, Tuple, Value,
+    Window,
 };
 use clash_optimizer::{OutputAction, Rule, TopologyPlan};
 use std::collections::{HashMap, HashSet};
@@ -75,6 +80,73 @@ struct PendingProber {
     started: Instant,
 }
 
+/// The pending probers of one forward-fed store, indexed by join-key
+/// value so a late insert retro-matches in O(candidate matches) instead
+/// of scanning every in-flight prober.
+///
+/// A prober whose rule set carries at least one equi-predicate is keyed
+/// by `(edge, probe-side value of the first predicate)` — the same
+/// predicate the store's own hash index would drive — and a late insert
+/// looks up the stored-side value of that predicate. Probers without a
+/// usable key (no predicates, or the probing tuple lacks the attribute)
+/// fall back to the `unkeyed` list and are scanned as before. Keying is
+/// purely a pre-filter: every candidate still runs the full predicate,
+/// window and guard checks, so a hash hit can never create a spurious
+/// match and a hash miss can never lose one (`join_eq` matches imply
+/// `Value` equality, and `Null` never `join_eq`-matches anything).
+#[derive(Debug, Default)]
+struct PendingSet {
+    /// edge -> join-key value -> probers awaiting a matching insert.
+    /// (Nested rather than keyed by `(EdgeId, Value)` so the insert-side
+    /// lookup can borrow the inserted tuple's value — no clone, no
+    /// allocation on the store hot path.)
+    keyed: HashMap<EdgeId, HashMap<Value, Vec<PendingProber>>>,
+    /// Probers that could not be keyed; matched by full scan.
+    unkeyed: Vec<PendingProber>,
+    /// Stored-side accessor of the keying predicate per registered edge
+    /// (what a late insert resolves its lookup value with).
+    edge_keys: Vec<(EdgeId, SlotAccessor)>,
+}
+
+impl PendingSet {
+    fn is_empty(&self) -> bool {
+        self.keyed.is_empty() && self.unkeyed.is_empty()
+    }
+
+    /// Registers a prober under its join-key value (or unkeyed).
+    fn register(&mut self, prober: PendingProber, key: Option<(SlotAccessor, Value)>) {
+        let edge = prober.key.1;
+        match key {
+            Some((stored_slot, value)) if !value.is_null() => {
+                if !self.edge_keys.iter().any(|(e, _)| *e == edge) {
+                    self.edge_keys.push((edge, stored_slot));
+                }
+                self.keyed
+                    .entry(edge)
+                    .or_default()
+                    .entry(value)
+                    .or_default()
+                    .push(prober);
+            }
+            // No usable key (predicate-less rule set, missing attribute,
+            // or a Null probe value): fall back to the scanned list.
+            _ => self.unkeyed.push(prober),
+        }
+    }
+
+    /// Drops probers whose guard can no longer receive late inserts.
+    fn gc(&mut self, watermark: u64) {
+        self.keyed.retain(|_, by_value| {
+            by_value.retain(|_, probers| {
+                probers.retain(|p| p.guard > watermark + 1);
+                !probers.is_empty()
+            });
+            !by_value.is_empty()
+        });
+        self.unkeyed.retain(|p| p.guard > watermark + 1);
+    }
+}
+
 /// The state owned by one worker thread.
 #[derive(Debug)]
 pub(crate) struct ShardState {
@@ -83,8 +155,8 @@ pub(crate) struct ShardState {
     stores: HashMap<StoreId, StoreInstance>,
     /// Forward-fed stores requiring symmetric probing.
     symmetric: Arc<HashSet<StoreId>>,
-    /// Pending probers per forward-fed store.
-    pending: HashMap<StoreId, Vec<PendingProber>>,
+    /// Pending probers per forward-fed store, indexed by join-key value.
+    pending: HashMap<StoreId, PendingSet>,
     epoch: EpochConfig,
     /// Metrics delta since the last collection barrier.
     pub metrics: EngineMetrics,
@@ -168,6 +240,9 @@ impl ShardState {
         };
         let epoch = self.epoch.epoch_of(delivery.tuple.ts);
         let mut probed = false;
+        // Join-key of the probe for pending-prober indexing: stored-side
+        // accessor and probe-side value of the first predicate.
+        let mut probe_key: Option<(SlotAccessor, Value)> = None;
         for rule in rules {
             match rule {
                 Rule::Store => {
@@ -195,6 +270,15 @@ impl ShardState {
                         .stores
                         .get(&delivery.target.store)
                         .expect("store exists");
+                    if probe_key.is_none() && self.symmetric.contains(&delivery.target.store) {
+                        probe_key = store.predicate_sides(predicates).next().and_then(
+                            |(stored_side, probe_side)| {
+                                SlotAccessor::of(&probe_side)
+                                    .get(&delivery.tuple)
+                                    .map(|v| (SlotAccessor::of(&stored_side), v.clone()))
+                            },
+                        );
+                    }
                     let window = store.window;
                     let lo = self.epoch.epoch_of(window.horizon(delivery.tuple.ts));
                     let epochs: Vec<Epoch> = (lo.0..=epoch.0).map(Epoch).collect();
@@ -267,18 +351,22 @@ impl ShardState {
             }
         }
         // Register the probe for symmetric completion: a later-arriving
-        // insert with a smaller guard must still find it.
+        // insert with a smaller guard must still find it (via the join-key
+        // index when the probe carries one).
         if probed && self.symmetric.contains(&delivery.target.store) {
             self.pending
                 .entry(delivery.target.store)
                 .or_default()
-                .push(PendingProber {
-                    guard: delivery.guard,
-                    tuple: delivery.tuple.clone(),
-                    partitions: delivery.probe_partitions.clone(),
-                    key,
-                    started: delivery.started,
-                });
+                .register(
+                    PendingProber {
+                        guard: delivery.guard,
+                        tuple: delivery.tuple.clone(),
+                        partitions: delivery.probe_partitions.clone(),
+                        key,
+                        started: delivery.started,
+                    },
+                    probe_key,
+                );
         }
     }
 
@@ -286,7 +374,9 @@ impl ShardState {
     /// probers of the store: the symmetric half of probe processing. Only
     /// probers with a *larger* guard qualify (they logically ran after
     /// this insert), and all timestamp/window/predicate checks mirror
-    /// `StoreInstance::probe` exactly.
+    /// `StoreInstance::probe` exactly. Candidates come from the join-key
+    /// index (plus the unkeyed scan list), so the cost is proportional to
+    /// the probers that can actually match, not to everything in flight.
     fn retro_probe(
         &mut self,
         plan: &TopologyPlan,
@@ -295,12 +385,25 @@ impl ShardState {
         delivery: &Delivery,
         out: &mut Outbox,
     ) {
-        let Some(probers) = self.pending.get(&store_id) else {
+        let Some(pending) = self.pending.get(&store_id) else {
             return;
         };
         let store = self.stores.get(&store_id).expect("store exists");
         let inserted = &delivery.tuple;
-        for prober in probers {
+        let mut candidates: Vec<&PendingProber> = Vec::new();
+        for (edge, stored_slot) in &pending.edge_keys {
+            let Some(value) = stored_slot.get(inserted) else {
+                continue;
+            };
+            if value.is_null() {
+                continue;
+            }
+            if let Some(probers) = pending.keyed.get(edge).and_then(|m| m.get(value)) {
+                candidates.extend(probers.iter());
+            }
+        }
+        candidates.extend(pending.unkeyed.iter());
+        for prober in candidates {
             if delivery.guard >= prober.guard || !prober.partitions.contains(&partition) {
                 continue;
             }
@@ -375,9 +478,10 @@ impl ShardState {
     /// Drops pending probers that can no longer receive late inserts: all
     /// roots below their guard have completed (watermark >= guard - 1).
     pub fn gc_probers(&mut self, watermark: u64) {
-        for probers in self.pending.values_mut() {
-            probers.retain(|p| p.guard > watermark + 1);
+        for pending in self.pending.values_mut() {
+            pending.gc(watermark);
         }
+        self.pending.retain(|_, p| !p.is_empty());
     }
 
     /// Expires out-of-window tuples from every owned partition, given the

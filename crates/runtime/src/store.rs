@@ -1,11 +1,49 @@
 //! Partitioned, epoch-versioned relation stores with hash indexes.
+//!
+//! The probe hot path is allocation-light: candidate lookups borrow the
+//! index posting lists instead of cloning them (unindexed attributes
+//! return a scan *marker*, never a materialized `0..len` vector), probe
+//! predicates are resolved to positional [`SlotAccessor`]s once per probe,
+//! and window expiry retains tuples in place while repairing the hash
+//! indexes incrementally via an old→new offset remap — no drain-and-rebuild.
 
-use clash_common::{AttrRef, Epoch, Timestamp, Tuple, Value, Window};
+use clash_common::{AttrRef, Epoch, SlotAccessor, Timestamp, Tuple, Value, Window};
 use clash_optimizer::StoreDescriptor;
 use clash_query::EquiPredicate;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+
+/// An attribute a store maintains a hash index over, with its precomputed
+/// positional accessor (resolved once per store, reused for every insert
+/// and index rebuild).
+#[derive(Debug, Clone, Copy)]
+struct IndexedAttr {
+    attr: AttrRef,
+    slot: SlotAccessor,
+}
+
+impl IndexedAttr {
+    fn new(attr: AttrRef) -> IndexedAttr {
+        IndexedAttr {
+            attr,
+            slot: SlotAccessor::of(&attr),
+        }
+    }
+}
+
+/// Result of an index lookup: either a borrowed posting list, a proof that
+/// no stored tuple matches, or a marker that the attribute is unindexed
+/// and the caller must scan. Borrowing (instead of the seed's
+/// `Vec<usize>` clone per lookup) keeps the probe hot path allocation-free.
+enum Candidates<'a> {
+    /// Tuples whose indexed value equals the probe value.
+    Hit(&'a [usize]),
+    /// The attribute is indexed but the value has no entry.
+    Miss,
+    /// The attribute is not indexed: scan all stored tuples.
+    Scan,
+}
 
 /// One epoch's worth of stored tuples inside a partition, with hash
 /// indexes per indexed attribute (the paper builds an index per distinct
@@ -23,13 +61,13 @@ struct EpochContainer {
 }
 
 impl EpochContainer {
-    fn insert(&mut self, tuple: Tuple, seq: u64, indexed_attrs: &[AttrRef]) {
+    fn insert(&mut self, tuple: Tuple, seq: u64, indexed_attrs: &[IndexedAttr]) {
         let idx = self.tuples.len();
         self.bytes += tuple.approx_size_bytes();
-        for attr in indexed_attrs {
-            if let Some(value) = tuple.get(attr) {
+        for indexed in indexed_attrs {
+            if let Some(value) = indexed.slot.get(&tuple) {
                 self.indexes
-                    .entry(*attr)
+                    .entry(indexed.attr)
                     .or_default()
                     .entry(value.clone())
                     .or_default()
@@ -40,51 +78,74 @@ impl EpochContainer {
         self.seqs.push(seq);
     }
 
-    /// Candidate matches via the index on `attr` (falls back to a scan when
-    /// the attribute is not indexed).
-    fn candidates(&self, attr: &AttrRef, value: &Value) -> Vec<usize> {
+    /// Candidate matches via the index on `attr`; borrowed, never cloned.
+    fn candidates(&self, attr: &AttrRef, value: &Value) -> Candidates<'_> {
         match self.indexes.get(attr) {
-            Some(by_value) => by_value.get(value).cloned().unwrap_or_default(),
-            None => (0..self.tuples.len()).collect(),
+            Some(by_value) => match by_value.get(value) {
+                Some(postings) => Candidates::Hit(postings),
+                None => Candidates::Miss,
+            },
+            None => Candidates::Scan,
         }
     }
 
+    /// Drops tuples older than `horizon`, retaining survivors in place and
+    /// repairing the hash indexes incrementally: posting lists keep their
+    /// entries for surviving tuples, remapped through the old→new offset
+    /// table, instead of being cleared and rebuilt from scratch.
     fn expire(&mut self, horizon: Timestamp) -> usize {
-        if self.tuples.iter().all(|t| t.ts >= horizon) {
+        let before = self.tuples.len();
+        // Old index -> new index for survivors; EXPIRED for the rest.
+        const EXPIRED: usize = usize::MAX;
+        let mut remap: Vec<usize> = Vec::with_capacity(before);
+        let mut kept = 0usize;
+        let mut freed_bytes = 0usize;
+        for tuple in &self.tuples {
+            if tuple.ts >= horizon {
+                remap.push(kept);
+                kept += 1;
+            } else {
+                remap.push(EXPIRED);
+                freed_bytes += tuple.approx_size_bytes();
+            }
+        }
+        if kept == before {
             return 0;
         }
-        let before = self.tuples.len();
-        let seqs = std::mem::take(&mut self.seqs);
-        let retained: Vec<(Tuple, u64)> = self
-            .tuples
-            .drain(..)
-            .zip(seqs)
-            .filter(|(t, _)| t.ts >= horizon)
-            .collect();
-        self.indexes.clear();
-        self.bytes = 0;
-        // Rebuild without indexes first; indexes are rebuilt lazily by the
-        // caller via `rebuild_indexes`.
-        for (t, s) in retained {
-            self.bytes += t.approx_size_bytes();
-            self.tuples.push(t);
-            self.seqs.push(s);
+        let mut old_idx = 0usize;
+        self.tuples.retain(|_| {
+            let keep = remap[old_idx] != EXPIRED;
+            old_idx += 1;
+            keep
+        });
+        let mut old_idx = 0usize;
+        self.seqs.retain(|_| {
+            let keep = remap[old_idx] != EXPIRED;
+            old_idx += 1;
+            keep
+        });
+        self.bytes -= freed_bytes;
+        for by_value in self.indexes.values_mut() {
+            by_value.retain(|_, postings| {
+                postings.retain_mut(|idx| {
+                    let new_idx = remap[*idx];
+                    *idx = new_idx;
+                    new_idx != EXPIRED
+                });
+                !postings.is_empty()
+            });
         }
-        before - self.tuples.len()
+        before - kept
     }
 
-    fn rebuild_indexes(&mut self, indexed_attrs: &[AttrRef]) {
-        self.indexes.clear();
+    /// Builds the index for one attribute over the stored tuples (used
+    /// when a later-installed plan probes on a new attribute).
+    fn index_attr(&mut self, indexed: &IndexedAttr) {
+        let by_value = self.indexes.entry(indexed.attr).or_default();
+        by_value.clear();
         for (idx, tuple) in self.tuples.iter().enumerate() {
-            for attr in indexed_attrs {
-                if let Some(value) = tuple.get(attr) {
-                    self.indexes
-                        .entry(*attr)
-                        .or_default()
-                        .entry(value.clone())
-                        .or_default()
-                        .push(idx);
-                }
+            if let Some(value) = indexed.slot.get(tuple) {
+                by_value.entry(value.clone()).or_default().push(idx);
             }
         }
     }
@@ -100,8 +161,8 @@ pub struct StoreInstance {
     pub descriptor: StoreDescriptor,
     /// Window governing expiry of stored tuples.
     pub window: Window,
-    /// Attributes indexed for probing.
-    indexed_attrs: Vec<AttrRef>,
+    /// Attributes indexed for probing, with precomputed slot accessors.
+    indexed_attrs: Vec<IndexedAttr>,
     /// partition -> epoch -> container.
     partitions: Vec<HashMap<Epoch, EpochContainer>>,
 }
@@ -125,21 +186,23 @@ impl StoreInstance {
         StoreInstance {
             descriptor,
             window,
-            indexed_attrs,
+            indexed_attrs: indexed_attrs.into_iter().map(IndexedAttr::new).collect(),
             partitions,
         }
     }
 
     /// Registers an additional indexed attribute (rules installed later may
-    /// probe on new attributes). Existing containers rebuild lazily on the
-    /// next expiry; new insertions index immediately.
+    /// probe on new attributes). Only the new attribute's index is built
+    /// over existing containers; established indexes are left untouched.
     pub fn add_indexed_attr(&mut self, attr: AttrRef) {
-        if !self.indexed_attrs.contains(&attr) {
-            self.indexed_attrs.push(attr);
-            for partition in &mut self.partitions {
-                for container in partition.values_mut() {
-                    container.rebuild_indexes(&self.indexed_attrs);
-                }
+        if self.indexed_attrs.iter().any(|i| i.attr == attr) {
+            return;
+        }
+        let indexed = IndexedAttr::new(attr);
+        self.indexed_attrs.push(indexed);
+        for partition in &mut self.partitions {
+            for container in partition.values_mut() {
+                container.index_attr(&indexed);
             }
         }
     }
@@ -230,11 +293,13 @@ impl StoreInstance {
         let p = partition.min(self.partitions.len().saturating_sub(1));
         let mut results = Vec::new();
         // Resolve, per predicate, which side belongs to the stored relation
-        // and which value the probing tuple supplies.
-        let mut resolved: Vec<(AttrRef, Value)> = Vec::new();
+        // (as a positional accessor) and which value the probing tuple
+        // supplies; probe values are borrowed, never cloned.
+        let mut resolved: Vec<(AttrRef, SlotAccessor, &Value)> =
+            Vec::with_capacity(predicates.len());
         for (stored_side, probe_side) in self.predicate_sides(predicates) {
-            match probe.get(&probe_side) {
-                Some(v) => resolved.push((stored_side, v.clone())),
+            match SlotAccessor::of(&probe_side).get(probe) {
+                Some(v) => resolved.push((stored_side, SlotAccessor::of(&stored_side), v)),
                 None => return results,
             }
         }
@@ -242,46 +307,58 @@ impl StoreInstance {
             let Some(container) = self.partitions[p].get(epoch) else {
                 continue;
             };
-            let candidate_idx: Vec<usize> = match resolved.first() {
-                Some((attr, value)) => container.candidates(attr, value),
-                None => (0..container.tuples.len()).collect(),
-            };
-            'cand: for idx in candidate_idx {
+            // One shared match check, statically dispatched from both the
+            // indexed and the scan path.
+            let mut consider = |idx: usize| {
                 let stored = &container.tuples[idx];
                 // Only earlier-arrived tuples join (the probing tuple is the
                 // latest constituent of the result) and the window must hold.
                 if stored.ts >= probe.ts || !self.window.contains(probe.ts, stored.ts) {
-                    continue;
+                    return;
                 }
                 if let Some(seq) = probe_seq {
                     if container.seqs[idx] >= seq {
-                        continue;
+                        return;
                     }
                 }
-                for (attr, value) in &resolved {
-                    match stored.get(attr) {
+                for (_, stored_slot, value) in &resolved {
+                    match stored_slot.get(stored) {
                         Some(v) if v.join_eq(value) => {}
-                        _ => continue 'cand,
+                        _ => return,
                     }
                 }
                 results.push(stored.clone());
+            };
+            let candidates = match resolved.first() {
+                Some((attr, _, value)) => container.candidates(attr, value),
+                None => Candidates::Scan,
+            };
+            match candidates {
+                Candidates::Miss => {}
+                Candidates::Hit(postings) => {
+                    for &idx in postings {
+                        consider(idx);
+                    }
+                }
+                Candidates::Scan => {
+                    for idx in 0..container.tuples.len() {
+                        consider(idx);
+                    }
+                }
             }
         }
         results
     }
 
     /// Drops tuples older than `horizon` from every partition and epoch,
-    /// removing empty epoch containers. Returns the number of expired
+    /// removing empty epoch containers. Indexes are repaired in place
+    /// (incremental remap), not rebuilt. Returns the number of expired
     /// tuples.
     pub fn expire(&mut self, horizon: Timestamp) -> usize {
         let mut removed = 0;
         for partition in &mut self.partitions {
             for container in partition.values_mut() {
-                let n = container.expire(horizon);
-                if n > 0 {
-                    container.rebuild_indexes(&self.indexed_attrs);
-                }
-                removed += n;
+                removed += container.expire(horizon);
             }
             partition.retain(|_, c| !c.tuples.is_empty());
         }
@@ -453,6 +530,65 @@ mod tests {
         store.expire(Timestamp::from_millis(100_000));
         assert!(store.is_empty());
         assert_eq!(store.bytes(), 0);
+    }
+
+    #[test]
+    fn incremental_index_repair_survives_interleaved_expiry_and_inserts() {
+        let mut store = s_store(1);
+        for i in 0..8 {
+            store.insert(0, Epoch(0), s_tuple(i % 3, i, 100 * i as u64));
+        }
+        // Expire the first half: surviving posting lists must be remapped.
+        assert_eq!(store.expire(Timestamp::from_millis(400)), 4);
+        // Insert more tuples after the repair; indexes must keep working
+        // for both survivors and newcomers.
+        for i in 8..12 {
+            store.insert(0, Epoch(0), s_tuple(i % 3, i, 100 * i as u64));
+        }
+        for key in 0..3i64 {
+            let probe = r_tuple(key, 10_000);
+            let expected = (4..12).filter(|i| i % 3 == key).count();
+            assert_eq!(
+                store.probe(0, &[Epoch(0)], &probe, &[pred_ra_sa()]).len(),
+                expected,
+                "key {key}"
+            );
+        }
+        // A second expiry over the repaired state stays consistent.
+        assert_eq!(store.expire(Timestamp::from_millis(900)), 5);
+        let probe = r_tuple(0, 10_000);
+        assert_eq!(
+            store.probe(0, &[Epoch(0)], &probe, &[pred_ra_sa()]).len(),
+            (9..12).filter(|i| i % 3 == 0).count()
+        );
+    }
+
+    #[test]
+    fn expiry_with_nothing_to_remove_is_a_noop() {
+        let mut store = s_store(1);
+        store.insert(0, Epoch(0), s_tuple(1, 1, 5_000));
+        let bytes = store.bytes();
+        assert_eq!(store.expire(Timestamp::from_millis(1_000)), 0);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.bytes(), bytes);
+    }
+
+    #[test]
+    fn unindexed_predicate_falls_back_to_scan() {
+        // Store indexes only S.a; probe with a predicate on S.b.
+        let mut store = s_store(1);
+        store.insert(0, Epoch(0), s_tuple(1, 50, 100));
+        store.insert(0, Epoch(0), s_tuple(2, 60, 200));
+        let t_schema = Schema::new(RelationId::new(2), "T", ["b"]);
+        let probe = TupleBuilder::new(&t_schema, Timestamp::from_millis(900))
+            .set("b", 50)
+            .build();
+        let pred = EquiPredicate::new(
+            AttrRef::new(RelationId::new(1), AttrId::new(1)),
+            AttrRef::new(RelationId::new(2), AttrId::new(0)),
+        );
+        let matches = store.probe(0, &[Epoch(0)], &probe, &[pred]);
+        assert_eq!(matches.len(), 1, "scan fallback still finds the match");
     }
 
     #[test]

@@ -1,0 +1,351 @@
+//! Property tests for the zero-copy rope tuple representation.
+//!
+//! A flat reference model (the seed's `(AttrRef, Value)`-pair list with
+//! linear lookup and copying concatenation) is built alongside every rope
+//! under test; `get`, iteration, arity, size accounting, equality and the
+//! wire codec must agree between the two — for random base tuples, random
+//! join-tree shapes and random join orders. A second group checks that
+//! deep rope chains flow end-to-end through both engines: a 5-way join
+//! query on out-of-order input yields identical result multisets from
+//! `LocalEngine` and `ParallelEngine`.
+
+use clash_catalog::{Catalog, Statistics};
+use clash_common::{
+    AttrId, AttrRef, QueryId, RelationId, SlotAccessor, Timestamp, Tuple, Value, Window,
+};
+use clash_optimizer::{Planner, Strategy};
+use clash_query::parse_query;
+use clash_runtime::{EngineConfig, LocalEngine, ParallelEngine};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// --- flat reference model -------------------------------------------------
+
+/// The seed representation: flattened pairs, linear everything.
+#[derive(Debug, Clone)]
+struct FlatRef {
+    ts: Timestamp,
+    ingest_ts: Timestamp,
+    pairs: Vec<(AttrRef, Value)>,
+}
+
+impl FlatRef {
+    fn get(&self, attr: &AttrRef) -> Option<&Value> {
+        self.pairs.iter().find(|(a, _)| a == attr).map(|(_, v)| v)
+    }
+
+    fn join(&self, other: &FlatRef) -> FlatRef {
+        let mut pairs = self.pairs.clone();
+        pairs.extend(other.pairs.iter().cloned());
+        FlatRef {
+            ts: self.ts.max(other.ts),
+            ingest_ts: self.ingest_ts.max(other.ingest_ts),
+            pairs,
+        }
+    }
+
+    /// The seed's size formula: header + per-entry charge + value bytes.
+    fn approx_size_bytes(&self) -> usize {
+        let per_entry = std::mem::size_of::<(AttrRef, Value)>();
+        32 + self
+            .pairs
+            .iter()
+            .map(|(_, v)| per_entry + v.approx_size_bytes())
+            .sum::<usize>()
+    }
+}
+
+fn random_value(rng: &mut StdRng) -> Value {
+    match rng.gen_range(0..6u32) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_bool(0.5)),
+        2 => Value::Int(rng.gen_range(-1_000..1_000i64)),
+        3 => Value::Float(rng.gen_range(-10.0..10.0f64)),
+        4 => Value::str(format!("s{}", rng.gen_range(0..50u32))),
+        _ => Value::Int(rng.gen_range(0..10i64)),
+    }
+}
+
+/// One random base tuple of `relation` with `arity` attributes at slots
+/// 0..arity (slot order, so reference pair order == rope iteration order).
+fn random_base(rng: &mut StdRng, relation: u32, arity: usize) -> (Tuple, FlatRef) {
+    let rel = RelationId::new(relation);
+    let ts = Timestamp::from_millis(rng.gen_range(0..10_000u64));
+    let pairs: Vec<(AttrRef, Value)> = (0..arity)
+        .map(|slot| {
+            (
+                AttrRef::new(rel, AttrId::new(slot as u32)),
+                random_value(rng),
+            )
+        })
+        .collect();
+    let rope = Tuple::base(rel, ts, pairs.clone());
+    let flat = FlatRef {
+        ts,
+        ingest_ts: ts,
+        pairs,
+    };
+    (rope, flat)
+}
+
+/// Joins `leaves` into one tuple with a random tree shape (repeatedly
+/// merging two adjacent entries), mirroring every merge on the reference.
+fn random_tree(rng: &mut StdRng, mut leaves: Vec<(Tuple, FlatRef)>) -> (Tuple, FlatRef) {
+    while leaves.len() > 1 {
+        let i = rng.gen_range(0..leaves.len() - 1);
+        let (right_rope, right_flat) = leaves.remove(i + 1);
+        let (left_rope, left_flat) = leaves.remove(i);
+        let rope = left_rope.join(&right_rope).expect("distinct relations");
+        leaves.insert(i, (rope, left_flat.join(&right_flat)));
+    }
+    leaves.pop().expect("nonempty")
+}
+
+fn random_leaves(rng: &mut StdRng, relations: usize) -> Vec<(Tuple, FlatRef)> {
+    (0..relations)
+        .map(|r| {
+            let arity = rng.gen_range(1..5usize);
+            random_base(rng, r as u32, arity)
+        })
+        .collect()
+}
+
+proptest! {
+    /// `get` (by attr and by precomputed slot accessor), `iter`, `arity`
+    /// and `approx_size_bytes` agree with the flat reference model for
+    /// random join trees.
+    #[test]
+    fn rope_agrees_with_flat_reference(seed in 0u64..1_000_000, relations in 1usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let leaves = random_leaves(&mut rng, relations);
+        let (rope, flat) = random_tree(&mut rng, leaves);
+
+        prop_assert_eq!(rope.ts, flat.ts);
+        prop_assert_eq!(rope.arity(), flat.pairs.len());
+        prop_assert_eq!(rope.approx_size_bytes(), flat.approx_size_bytes());
+        prop_assert_eq!(rope.is_intermediate(), relations > 1);
+
+        // Iteration yields exactly the reference pairs (leaf slot order
+        // inside each relation, relations left to right).
+        let iterated: Vec<(AttrRef, Value)> = rope.iter().map(|(a, v)| (a, v.clone())).collect();
+        prop_assert_eq!(&iterated, &flat.pairs);
+        prop_assert_eq!(rope.flatten(), flat.pairs.clone());
+
+        // Every attribute resolves identically, via `get` and via a
+        // precomputed positional accessor.
+        for (attr, _) in &flat.pairs {
+            prop_assert_eq!(rope.get(attr), flat.get(attr), "attr {}", attr);
+            prop_assert_eq!(SlotAccessor::of(attr).get(&rope), flat.get(attr));
+        }
+        // Absent attributes (unknown relation / out-of-range slot).
+        let foreign = AttrRef::new(RelationId::new(99), AttrId::new(0));
+        prop_assert_eq!(rope.get(&foreign), None);
+        let out_of_range = AttrRef::new(RelationId::new(0), AttrId::new(63));
+        prop_assert_eq!(rope.get(&out_of_range), flat.get(&out_of_range));
+    }
+
+    /// Equality is content equality: any two join-tree shapes and join
+    /// orders over the same leaves compare equal, and the wire codec
+    /// round-trips both (flattening the rope without losing anything).
+    #[test]
+    fn equality_and_wire_round_trip_are_shape_independent(
+        seed in 0u64..1_000_000,
+        relations in 1usize..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let leaves = random_leaves(&mut rng, relations);
+
+        let (tree_a, _) = random_tree(&mut rng, leaves.clone());
+        // A second, independently random shape over a shuffled leaf order.
+        let mut shuffled = leaves.clone();
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.gen_range(0..i + 1);
+            shuffled.swap(i, j);
+        }
+        let (tree_b, _) = random_tree(&mut rng, shuffled);
+        prop_assert_eq!(&tree_a, &tree_b, "shape/order must not affect equality");
+
+        // Wire round trip: decode(encode(t)) == t, and the decoded tuple
+        // still resolves every attribute.
+        let decoded = Tuple::from_wire(&tree_a.to_wire()).expect("round trip");
+        prop_assert_eq!(&decoded, &tree_a);
+        prop_assert_eq!(decoded.ts, tree_a.ts);
+        prop_assert_eq!(decoded.ingest_ts, tree_a.ingest_ts);
+        prop_assert_eq!(decoded.relations, tree_a.relations);
+        prop_assert_eq!(decoded.approx_size_bytes(), tree_a.approx_size_bytes());
+        for (attr, value) in tree_a.iter() {
+            prop_assert_eq!(decoded.get(&attr), Some(value));
+        }
+
+        // Mutating one value breaks equality (the comparison is not
+        // trivially true).
+        if let Some((attr, Value::Int(_))) = tree_a.iter().next().map(|(a, v)| (a, v.clone())) {
+            let mut pairs = tree_a.flatten();
+            for (a, v) in &mut pairs {
+                if *a == attr {
+                    *v = Value::Int(123_456);
+                }
+            }
+            let changed = Tuple::base(attr.relation, tree_a.ts, pairs
+                .into_iter()
+                .filter(|(a, _)| a.relation == attr.relation)
+                .collect());
+            if relations == 1 {
+                prop_assert!(changed != tree_a || tree_a.get(&attr) == Some(&Value::Int(123_456)));
+            }
+        }
+    }
+}
+
+// --- deep rope chains through both engines --------------------------------
+
+/// 5-relation chain A(x), B(x,y), C(y,z), D(z,w), E(w): results are built
+/// through two levels of materialized intermediate stores, so rope depth
+/// and Arc sharing are exercised across shard boundaries.
+fn chain_catalog(parallelism: usize) -> (Catalog, Vec<clash_query::JoinQuery>) {
+    let mut catalog = Catalog::new();
+    catalog
+        .register("A", ["x"], Window::secs(3600), parallelism)
+        .unwrap();
+    catalog
+        .register("B", ["x", "y"], Window::secs(3600), parallelism)
+        .unwrap();
+    catalog
+        .register("C", ["y", "z"], Window::secs(3600), parallelism)
+        .unwrap();
+    catalog
+        .register("D", ["z", "w"], Window::secs(3600), parallelism)
+        .unwrap();
+    catalog.register("E", ["w"], Window::secs(3600), 1).unwrap();
+    let q = parse_query(
+        &catalog,
+        QueryId::new(0),
+        "chain5",
+        "A(x), B(x,y), C(y,z), D(z,w), E(w)",
+    )
+    .unwrap();
+    (catalog, vec![q])
+}
+
+/// Out-of-order stream: timestamps jitter backwards relative to arrival.
+fn chain_stream(
+    catalog: &Catalog,
+    n_per_relation: usize,
+    key_domain: i64,
+    seed: u64,
+) -> Vec<(RelationId, Tuple)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stream = Vec::new();
+    let mut ts = 0u64;
+    for _ in 0..n_per_relation {
+        for name in ["A", "B", "C", "D", "E"] {
+            let meta = catalog.relation_by_name(name).unwrap();
+            ts += 7;
+            let jitter = rng.gen_range(0..20u64);
+            let mut b =
+                clash_common::TupleBuilder::new(&meta.schema, Timestamp::from_millis(ts + jitter));
+            for attr in &meta.schema.attributes {
+                b = b.set(&attr.name, rng.gen_range(0..key_domain));
+            }
+            stream.push((meta.id, b.build()));
+        }
+    }
+    stream
+}
+
+fn multiset(results: &[(QueryId, Tuple)]) -> Vec<String> {
+    let mut rendered: Vec<String> = results
+        .iter()
+        .map(|(q, t)| {
+            let mut attrs: Vec<String> = t.iter().map(|(a, v)| format!("{a}={v}")).collect();
+            attrs.sort();
+            format!("{q}|{}|{}", t.ts, attrs.join(","))
+        })
+        .collect();
+    rendered.sort();
+    rendered
+}
+
+#[test]
+fn five_way_chain_multisets_agree_between_engines_on_out_of_order_input() {
+    let (catalog, queries) = chain_catalog(2);
+    let stream = chain_stream(&catalog, 24, 6, 0x5EED);
+    let stats = Statistics::new();
+    let planner = Planner::with_defaults(&catalog, &stats);
+    let config = EngineConfig {
+        collect_results: true,
+        ..EngineConfig::default()
+    };
+    for strategy in [Strategy::Shared, Strategy::GlobalIlp] {
+        let report = planner.plan(&queries, strategy).unwrap();
+        let mut local = LocalEngine::new(catalog.clone(), report.plan.clone(), config);
+        let mut parallel = ParallelEngine::new(catalog.clone(), report.plan, config, 3);
+        for (relation, tuple) in &stream {
+            local.ingest(*relation, tuple.clone()).unwrap();
+            parallel.ingest(*relation, tuple.clone()).unwrap();
+        }
+        let local_snap = local.snapshot();
+        let parallel_snap = parallel.snapshot();
+        assert_eq!(
+            local_snap.total_results(),
+            parallel_snap.total_results(),
+            "{strategy:?} result counts"
+        );
+        assert_eq!(
+            multiset(local.results()),
+            multiset(parallel.results()),
+            "{strategy:?} result multisets"
+        );
+        assert!(
+            local_snap.total_results() > 0,
+            "{strategy:?} produced no 5-way results; stream too sparse"
+        );
+        // The emitted results are genuine deep ropes: 5 constituent
+        // relations, at least two join levels.
+        for (_, tuple) in local.results().iter().take(16) {
+            assert_eq!(tuple.relations.len(), 5);
+            assert!(
+                tuple.depth() >= 2,
+                "expected a deep rope, got {}",
+                tuple.depth()
+            );
+            assert_eq!(tuple.arity(), 8, "x + (x,y) + (y,z) + (z,w) + w");
+        }
+    }
+}
+
+#[test]
+fn micro_batching_preserves_chain_equivalence() {
+    // Same 5-way chain, explicitly sweeping router micro-batch sizes.
+    let (catalog, queries) = chain_catalog(2);
+    let stream = chain_stream(&catalog, 20, 5, 0xBA7C4);
+    let stats = Statistics::new();
+    let planner = Planner::with_defaults(&catalog, &stats);
+    let report = planner.plan(&queries, Strategy::GlobalIlp).unwrap();
+    let base = EngineConfig {
+        collect_results: true,
+        ..EngineConfig::default()
+    };
+    let mut local = LocalEngine::new(catalog.clone(), report.plan.clone(), base);
+    for (relation, tuple) in &stream {
+        local.ingest(*relation, tuple.clone()).unwrap();
+    }
+    let reference = multiset(local.results());
+    for micro_batch in [1usize, 7, 1 << 20] {
+        let config = EngineConfig {
+            micro_batch,
+            ..base
+        };
+        let mut engine = ParallelEngine::new(catalog.clone(), report.plan.clone(), config, 2);
+        for (relation, tuple) in &stream {
+            engine.ingest(*relation, tuple.clone()).unwrap();
+        }
+        engine.flush();
+        assert_eq!(
+            multiset(engine.results()),
+            reference,
+            "micro_batch={micro_batch}"
+        );
+    }
+}
