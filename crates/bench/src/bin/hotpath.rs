@@ -1,7 +1,8 @@
 //! Hot-path microbenchmarks: seed flat representation vs. the zero-copy
 //! rope tuple core and the reworked probe path, plus the Fig. 7 five-query
-//! end-to-end throughput on the optimized engine. Writes the machine-
-//! readable report to `BENCH_hotpath.json`.
+//! end-to-end throughput on the optimized engine and the multi-source
+//! ingestion scenario (coordinator baseline vs. concurrent SourceHandle
+//! producers). Writes the machine-readable report to `BENCH_hotpath.json`.
 //!
 //! Usage:
 //!   cargo run --release -p clash-bench --bin hotpath [iters] [fig7_tuples] [out.json]
@@ -48,6 +49,17 @@ fn main() {
         println!(
             "{:<12} {:>16.0} {:>12.2} {:>12.3} {:>10}",
             r.strategy, r.throughput_tps, r.memory_mb, r.latency_ms, r.results
+        );
+    }
+    println!("\n# Multi-source ingestion (2 queries, parallel engine, 4 workers)\n");
+    println!(
+        "{:<14} {:>8} {:>16} {:>10} {:>13}",
+        "mode", "sources", "wall_tps[t/s]", "results", "busy_balance"
+    );
+    for r in &report.multi_source {
+        println!(
+            "{:<14} {:>8} {:>16.0} {:>10} {:>13.3}",
+            r.mode, r.sources, r.wall_tps, r.results, r.busy_balance
         );
     }
 

@@ -24,14 +24,25 @@
 //! The end-to-end section replays the Fig. 7 five-query workload through
 //! the optimized engine, tying the microbenchmarks to a whole-system
 //! throughput number.
+//!
+//! The multi-source section measures the async ingestion front-end: the
+//! identical two-query workload pushed through the parallel engine once
+//! by the coordinator thread (the old single-producer path) and once per
+//! source count by concurrent `SourceHandle` producer threads, asserting
+//! identical result counts and reporting wall-clock throughput plus the
+//! worker busy-balance (the hardware-independent parallelism evidence on
+//! a single-core runner).
 
 use crate::fig7::{run_fig7, Fig7Row};
+use clash_catalog::{Catalog, Statistics};
 use clash_common::{
-    AttrId, AttrRef, Epoch, RelationId, RelationSet, SlotAccessor, Timestamp, Tuple, Value, Window,
+    AttrId, AttrRef, Epoch, QueryId, RelationId, RelationSet, SlotAccessor, Timestamp, Tuple,
+    TupleBuilder, Value, Window,
 };
-use clash_optimizer::StoreDescriptor;
-use clash_query::EquiPredicate;
+use clash_optimizer::{Planner, StoreDescriptor, Strategy};
+use clash_query::{parse_query, EquiPredicate};
 use clash_runtime::store::StoreInstance;
+use clash_runtime::{EngineConfig, ParallelEngine};
 use std::time::Instant;
 
 /// Every suite takes the best of this many timed runs.
@@ -293,6 +304,8 @@ pub struct HotpathReport {
     pub micro: Vec<MicroRow>,
     /// Fig. 7 five-query rows on the optimized engine.
     pub fig7: Vec<Fig7Row>,
+    /// Multi-source ingestion rows (coordinator baseline + source sweep).
+    pub multi_source: Vec<MultiSourceRow>,
 }
 
 fn best_of<F: FnMut() -> f64>(mut run: F) -> f64 {
@@ -684,7 +697,220 @@ pub fn bench_store_expire(n: usize) -> MicroRow {
     }
 }
 
-/// Runs every suite plus the Fig. 7 end-to-end replay.
+/// One row of the multi-source ingestion scenario: the same two-query
+/// workload pushed through the parallel engine either by the coordinator
+/// thread (the pre-ingest-subsystem baseline) or by N concurrent
+/// [`clash_runtime::SourceHandle`] producer threads.
+#[derive(Debug, Clone)]
+pub struct MultiSourceRow {
+    /// `"coordinator"` or `"sources"`.
+    pub mode: &'static str,
+    /// Concurrent producer threads (0 for the coordinator baseline).
+    pub sources: usize,
+    /// Input stream length.
+    pub tuples: usize,
+    /// End-to-end wall-clock throughput in tuples per second (ingest
+    /// start to drain end).
+    pub wall_tps: f64,
+    /// Total join results produced (asserted identical across rows).
+    pub results: u64,
+    /// Largest single worker's share of total worker busy time (0.25 is a
+    /// perfect 4-way split) — the hardware-independent parallelism
+    /// evidence on a single-core runner.
+    pub busy_balance: f64,
+}
+
+/// Worker threads of the multi-source scenario (matches the catalog
+/// parallelism of the fixture).
+const MULTI_SOURCE_WORKERS: usize = 4;
+
+/// The multi-source fixture: a 4-relation chain shared by two 3-way
+/// queries, every store partitioned 4 ways.
+fn multi_source_fixture() -> (Catalog, Vec<clash_query::JoinQuery>) {
+    let mut catalog = Catalog::new();
+    let window = Window::secs(3600);
+    catalog
+        .register("R", ["a"], window, MULTI_SOURCE_WORKERS)
+        .expect("register");
+    catalog
+        .register("S", ["a", "b"], window, MULTI_SOURCE_WORKERS)
+        .expect("register");
+    catalog
+        .register("T", ["b", "c"], window, MULTI_SOURCE_WORKERS)
+        .expect("register");
+    catalog
+        .register("U", ["c"], window, MULTI_SOURCE_WORKERS)
+        .expect("register");
+    let q1 = parse_query(&catalog, QueryId::new(0), "q1", "R(a), S(a,b), T(b)").expect("q1");
+    let q2 = parse_query(&catalog, QueryId::new(1), "q2", "S(b), T(b,c), U(c)").expect("q2");
+    (catalog, vec![q1, q2])
+}
+
+/// Relations per round of the generated stream.
+const MULTI_SOURCE_RELS: usize = 4;
+
+/// Deterministic input stream for the multi-source scenario (no RNG, so
+/// every row replays the identical tuple mix). Round `i` emits one tuple
+/// per relation, all carrying key `i % domain`; rounds are what the
+/// source split distributes, so a joining group never straddles sources.
+/// `domain` is a multiple of every benched source count, making each
+/// source's key set disjoint under the round-robin split — cross-source
+/// pairs never join, so the result multiset is identical under any
+/// producer interleaving and comparable across rows (see
+/// `clash_runtime::ingest` on arrival-order semantics).
+fn multi_source_stream(catalog: &Catalog, total: usize) -> Vec<(RelationId, Tuple)> {
+    let domain = ((total / 16).max(64) / MULTI_SOURCE_RELS * MULTI_SOURCE_RELS) as i64;
+    let names = ["R", "S", "T", "U"];
+    let metas: Vec<_> = names
+        .iter()
+        .map(|n| catalog.relation_by_name(n).expect("relation"))
+        .collect();
+    let mut stream = Vec::with_capacity(total);
+    let mut i = 0usize;
+    while stream.len() < total {
+        let key = (i as i64) % domain;
+        for meta in &metas {
+            if stream.len() >= total {
+                break;
+            }
+            let ts = Timestamp::from_millis(stream.len() as u64 + 1);
+            let mut b = TupleBuilder::new(&meta.schema, ts);
+            for attr in &meta.schema.attributes {
+                b = b.set(&attr.name, key);
+            }
+            stream.push((meta.id, b.build()));
+        }
+        i += 1;
+    }
+    stream
+}
+
+/// Runs the multi-source ingestion scenario: the coordinator-ingest
+/// baseline plus one row per source count, each best-of-[`BEST_OF`] on a
+/// fresh engine over the identical stream. Asserts that every run
+/// produces the identical result count (the multi-source exactness
+/// contract) before reporting throughput.
+pub fn run_multi_source(total: usize, source_counts: &[usize]) -> Vec<MultiSourceRow> {
+    let (catalog, queries) = multi_source_fixture();
+    let stats = Statistics::new();
+    let planner = Planner::with_defaults(&catalog, &stats);
+    let report = planner.plan(&queries, Strategy::Shared).expect("plan");
+    let stream = multi_source_stream(&catalog, total);
+    let config = EngineConfig::default();
+    let mut rows = Vec::new();
+    let mut expected = None;
+
+    // Coordinator-ingest baseline: the single-producer front-end.
+    let mut best: Option<MultiSourceRow> = None;
+    for _ in 0..BEST_OF {
+        let mut engine = ParallelEngine::new(
+            catalog.clone(),
+            report.plan.clone(),
+            config,
+            MULTI_SOURCE_WORKERS,
+        );
+        let started = Instant::now();
+        for (relation, tuple) in &stream {
+            engine.ingest(*relation, tuple.clone()).expect("ingest");
+        }
+        engine.flush();
+        let elapsed = started.elapsed().as_secs_f64();
+        let snap = engine.snapshot();
+        let results = snap.total_results();
+        assert_eq!(*expected.get_or_insert(results), results);
+        let row = MultiSourceRow {
+            mode: "coordinator",
+            sources: 0,
+            tuples: total,
+            wall_tps: total as f64 / elapsed,
+            results,
+            busy_balance: busy_balance(&engine),
+        };
+        if best.as_ref().is_none_or(|b| row.wall_tps > b.wall_tps) {
+            best = Some(row);
+        }
+    }
+    rows.push(best.expect("baseline row"));
+    let expected = expected.expect("baseline results");
+
+    for &sources in source_counts {
+        let mut best: Option<MultiSourceRow> = None;
+        for _ in 0..BEST_OF {
+            let mut engine = ParallelEngine::new(
+                catalog.clone(),
+                report.plan.clone(),
+                config,
+                MULTI_SOURCE_WORKERS,
+            );
+            let handles: Vec<_> = (0..sources).map(|_| engine.open_source()).collect();
+            // Round-robin split by round (not by tuple): each producer
+            // pushes whole joining groups in stream order, and the domain
+            // choice in `multi_source_stream` makes the sources' key sets
+            // disjoint.
+            let mut slices: Vec<Vec<(RelationId, Tuple)>> =
+                (0..sources).map(|_| Vec::new()).collect();
+            for (idx, entry) in stream.iter().enumerate() {
+                slices[(idx / MULTI_SOURCE_RELS) % sources].push(entry.clone());
+            }
+            let started = Instant::now();
+            let producers: Vec<_> = handles
+                .into_iter()
+                .zip(slices)
+                .map(|(mut handle, slice)| {
+                    std::thread::spawn(move || {
+                        for (relation, tuple) in slice {
+                            handle.push(relation, tuple).expect("push");
+                        }
+                    })
+                })
+                .collect();
+            for producer in producers {
+                producer.join().expect("producer thread");
+            }
+            engine.flush();
+            let elapsed = started.elapsed().as_secs_f64();
+            let snap = engine.snapshot();
+            assert_eq!(
+                snap.total_results(),
+                expected,
+                "multi-source run ({sources} sources) diverged from the coordinator baseline"
+            );
+            let row = MultiSourceRow {
+                mode: "sources",
+                sources,
+                tuples: total,
+                wall_tps: total as f64 / elapsed,
+                results: snap.total_results(),
+                busy_balance: busy_balance(&engine),
+            };
+            if best.as_ref().is_none_or(|b| row.wall_tps > b.wall_tps) {
+                best = Some(row);
+            }
+        }
+        rows.push(best.expect("source row"));
+    }
+    rows
+}
+
+/// Largest worker's share of the summed busy time (1.0 when a single
+/// shard did everything).
+fn busy_balance(engine: &ParallelEngine) -> f64 {
+    let busy: Vec<f64> = engine
+        .worker_busy()
+        .iter()
+        .map(|d| d.as_secs_f64())
+        .collect();
+    let total: f64 = busy.iter().sum();
+    let max = busy.iter().cloned().fold(0.0f64, f64::max);
+    if total > 0.0 {
+        max / total
+    } else {
+        1.0
+    }
+}
+
+/// Runs every suite plus the Fig. 7 end-to-end replay and the
+/// multi-source ingestion scenario.
 pub fn run_hotpath(iters: usize, fig7_tuples: usize) -> HotpathReport {
     let store_n = (iters / 4).clamp(512, 200_000);
     let micro = vec![
@@ -695,11 +921,13 @@ pub fn run_hotpath(iters: usize, fig7_tuples: usize) -> HotpathReport {
         bench_store_expire(store_n),
     ];
     let fig7 = run_fig7(5, fig7_tuples, 0.002, 42);
+    let multi_source = run_multi_source(fig7_tuples.clamp(1_000, 100_000), &[1, 2, 4]);
     HotpathReport {
         iters,
         fig7_tuples,
         micro,
         fig7,
+        multi_source,
     }
 }
 
@@ -743,6 +971,25 @@ pub fn report_to_json(report: &HotpathReport) -> String {
             if i + 1 < report.fig7.len() { "," } else { "" }
         ));
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"multi_source\": [\n");
+    for (i, row) in report.multi_source.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"sources\": {}, \"tuples\": {}, \"wall_tps\": {:.1}, \
+             \"results\": {}, \"busy_balance\": {:.3}}}{}\n",
+            row.mode,
+            row.sources,
+            row.tuples,
+            row.wall_tps,
+            row.results,
+            row.busy_balance,
+            if i + 1 < report.multi_source.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
     out.push_str("  ]\n");
     out.push_str("}\n");
     out
@@ -772,6 +1019,21 @@ mod tests {
     }
 
     #[test]
+    fn multi_source_rows_agree_with_coordinator_baseline() {
+        // Small stream: validates the exactness assertion inside the
+        // scenario plus the row plumbing, not timings.
+        let rows = run_multi_source(1_200, &[1, 2]);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].mode, "coordinator");
+        assert!(rows[0].results > 0, "workload must produce results");
+        for row in &rows {
+            assert_eq!(row.results, rows[0].results, "{} sources", row.sources);
+            assert!(row.wall_tps > 0.0);
+            assert!(row.busy_balance > 0.0 && row.busy_balance <= 1.0);
+        }
+    }
+
+    #[test]
     fn json_report_is_well_formed() {
         let report = HotpathReport {
             iters: 10,
@@ -783,9 +1045,19 @@ mod tests {
                 optimized_ops_per_sec: 2.0,
             }],
             fig7: Vec::new(),
+            multi_source: vec![MultiSourceRow {
+                mode: "sources",
+                sources: 2,
+                tuples: 100,
+                wall_tps: 10.0,
+                results: 5,
+                busy_balance: 0.5,
+            }],
         };
         let json = report_to_json(&report);
         assert!(json.contains("\"speedup\": 2.000"));
+        assert!(json.contains("\"multi_source\""));
+        assert!(json.contains("\"busy_balance\": 0.500"));
         // Balanced braces/brackets (no serde_json in the offline build).
         assert_eq!(
             json.matches('{').count(),

@@ -36,4 +36,4 @@ pub use clash_catalog::{Catalog, Statistics};
 pub use clash_common as common;
 pub use clash_optimizer::{OptimizationReport, Strategy, TopologyPlan};
 pub use clash_query::JoinQuery;
-pub use clash_runtime::{LocalEngine, MetricsSnapshot, ParallelEngine};
+pub use clash_runtime::{LocalEngine, MetricsSnapshot, ParallelEngine, SourceHandle};

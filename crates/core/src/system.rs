@@ -8,7 +8,9 @@ use clash_optimizer::{OptimizationReport, Planner, PlannerConfig, Strategy};
 use clash_query::{parse_query, JoinQuery, QueryBuilder};
 use clash_runtime::{
     AdaptiveConfig, AdaptiveController, EngineConfig, LocalEngine, MetricsSnapshot, ParallelEngine,
+    SourceHandle,
 };
+use std::sync::mpsc::Receiver;
 
 /// Which execution runtime a deployment uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -37,10 +39,11 @@ pub struct SystemConfig {
 }
 
 /// A deployed engine of either runtime, dispatching the operations the
-/// system needs.
+/// system needs. Boxed: the engines are large and the handle lives inside
+/// every `ClashSystem`.
 enum EngineHandle {
-    Local(LocalEngine),
-    Parallel(ParallelEngine),
+    Local(Box<LocalEngine>),
+    Parallel(Box<ParallelEngine>),
 }
 
 impl EngineHandle {
@@ -244,14 +247,13 @@ impl ClashSystem {
         let mut engine_config = self.config.engine;
         engine_config.collect_results = self.config.collect_results;
         self.engine = Some(match self.config.runtime {
-            RuntimeMode::Local => {
-                EngineHandle::Local(LocalEngine::new(self.catalog.clone(), plan, engine_config))
-            }
-            RuntimeMode::Parallel(workers) => EngineHandle::Parallel(ParallelEngine::new(
+            RuntimeMode::Local => EngineHandle::Local(Box::new(LocalEngine::new(
                 self.catalog.clone(),
                 plan,
                 engine_config,
-                workers,
+            ))),
+            RuntimeMode::Parallel(workers) => EngineHandle::Parallel(Box::new(
+                ParallelEngine::new(self.catalog.clone(), plan, engine_config, workers),
             )),
         });
         self.controller = Some(controller);
@@ -298,13 +300,13 @@ impl ClashSystem {
             if let Some(controller) = &mut self.controller {
                 match engine {
                     EngineHandle::Local(e) => {
-                        controller.on_epoch(e, epoch)?;
+                        controller.on_epoch(e.as_mut(), epoch)?;
                     }
                     EngineHandle::Parallel(e) => {
                         // Epoch barrier: aggregate the workers' statistics
                         // deltas before the controller evaluates them.
                         e.flush();
-                        controller.on_epoch(e, epoch)?;
+                        controller.on_epoch(e.as_mut(), epoch)?;
                     }
                 }
             }
@@ -335,6 +337,52 @@ impl ClashSystem {
             .as_ref()
             .map(|c| c.reconfigurations)
             .unwrap_or(0)
+    }
+
+    /// Opens a concurrent ingestion source on the deployed parallel
+    /// runtime: the returned handle can be moved to a producer thread and
+    /// pushed independently of this system handle and of every other
+    /// source (see `clash_runtime::ingest`). Results stream to
+    /// subscribers as they are produced; metrics and collected results
+    /// aggregate at the next barrier ([`Self::snapshot`]).
+    ///
+    /// Fails when the system is not deployed or runs the single-threaded
+    /// local runtime (which has no concurrent ingest path). Two caveats
+    /// for adaptive deployments: the controller only runs on epoch
+    /// boundaries crossed by tuples ingested through [`Self::ingest`], so
+    /// a stream fed *exclusively* through sources is never re-optimized
+    /// (ROADMAP: adaptive control for source-driven streams); and when
+    /// the coordinator thread does ingest concurrently with open sources,
+    /// a controller-triggered plan install can drop source pushes racing
+    /// it — quiesce producers around epoch boundaries if the workload
+    /// re-plans.
+    pub fn open_source(&mut self) -> Result<SourceHandle> {
+        match self.engine.as_mut() {
+            Some(EngineHandle::Parallel(e)) => Ok(e.open_source()),
+            Some(EngineHandle::Local(_)) => Err(ClashError::Runtime(
+                "multi-source ingestion requires RuntimeMode::Parallel".into(),
+            )),
+            None => Err(ClashError::Runtime("system not deployed".into())),
+        }
+    }
+
+    /// Subscribes to the stream of emitted join results. On the parallel
+    /// runtime results arrive on the returned channel as the workers
+    /// produce them — between barriers, not only at epoch ends; on the
+    /// local runtime they arrive synchronously during `ingest`. The
+    /// channel disconnects when the engine shuts down.
+    pub fn subscribe(&mut self) -> Result<Receiver<(QueryId, Tuple)>> {
+        match self.engine.as_mut() {
+            Some(EngineHandle::Parallel(e)) => Ok(e.subscribe()),
+            Some(EngineHandle::Local(e)) => {
+                let (tx, rx) = std::sync::mpsc::channel();
+                e.set_sink(Box::new(move |query, tuple| {
+                    let _ = tx.send((query, tuple.clone()));
+                }));
+                Ok(rx)
+            }
+            None => Err(ClashError::Runtime("system not deployed".into())),
+        }
     }
 
     /// Direct access to the local engine (experiment drivers); `None` when

@@ -37,6 +37,23 @@ pub struct EngineConfig {
     /// `Batch` messages across ingests up to this size (epoch barriers
     /// always flush); `1` restores send-per-ingest.
     pub micro_batch: usize,
+    /// Parallel runtime only: maximum wall-clock age a buffered
+    /// micro-batch may reach before it is flushed regardless of the size
+    /// trigger, so sparse streams do not hold deliveries (and the results
+    /// they would produce) until the next barrier. The coordinator checks
+    /// the age on every ingest; open sources are additionally swept by a
+    /// background flusher thread, which covers streams that go fully
+    /// idle. `Duration::ZERO` disables the time trigger.
+    pub micro_batch_max_delay: std::time::Duration,
+    /// Parallel runtime only: bound on in-flight roots (ingested input
+    /// tuples whose deliveries have not all been processed yet). Both the
+    /// coordinator's `ingest` and every [`crate::ingest::SourceHandle`]
+    /// block once the bound is reached until workers catch up, so a slow
+    /// consumer backpressures producers instead of growing the worker
+    /// queues without limit. Admission precedes sequence allocation, so
+    /// concurrent producers can overshoot the bound by at most one root
+    /// each. `0` disables the bound.
+    pub max_inflight_roots: usize,
 }
 
 impl Default for EngineConfig {
@@ -46,6 +63,8 @@ impl Default for EngineConfig {
             expire_every: 1024,
             collect_results: false,
             micro_batch: 64,
+            micro_batch_max_delay: std::time::Duration::from_millis(5),
+            max_inflight_roots: 1 << 16,
         }
     }
 }

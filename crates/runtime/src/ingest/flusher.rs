@@ -1,0 +1,76 @@
+//! The time-trigger flusher: a background thread that sweeps the open
+//! sources' micro-batch buffers so sparse or idle streams cannot strand
+//! buffered deliveries until the next barrier.
+//!
+//! Every producer slot is swept — the open sources *and* the
+//! coordinator's own buffer, which is registered in the same registry: a
+//! producer that simply stops pushing (the per-push age check never runs
+//! again) is exactly the case the `EngineConfig::micro_batch_max_delay`
+//! trigger exists for. When everything is idle a sweep is one registry
+//! lock plus one uncontended lock per slot — the accepted cost of the
+//! liveness guarantee.
+
+use crate::ingest::source::SourceRegistry;
+use crate::parallel::worker::WorkerMsg;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration as StdDuration;
+
+/// Handle to the running flusher thread (engine-owned).
+#[derive(Debug)]
+pub(crate) struct Flusher {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Flusher {
+    /// Spawns the sweep thread over `sources`, flushing buffers older
+    /// than `max_delay` to `senders`.
+    pub fn spawn(
+        sources: SourceRegistry,
+        senders: Vec<Sender<WorkerMsg>>,
+        max_delay: StdDuration,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        // Sweep at half the trigger so a buffer is flushed at most ~1.5x
+        // max_delay after its oldest delivery, bounded to stay responsive
+        // to shutdown.
+        let tick = (max_delay / 2).clamp(StdDuration::from_millis(1), StdDuration::from_millis(20));
+        let handle = std::thread::Builder::new()
+            .name("clash-ingest-flusher".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Acquire) {
+                    std::thread::sleep(tick);
+                    let slots = sources.lock().expect("source registry").clone();
+                    for slot in slots {
+                        let mut inner = slot.inner.lock().expect("source slot");
+                        if inner.buf.is_stale(max_delay) {
+                            inner.buf.flush(&senders);
+                        }
+                    }
+                }
+            })
+            .expect("spawn ingest flusher thread");
+        Flusher {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops and joins the sweep thread.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Flusher {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

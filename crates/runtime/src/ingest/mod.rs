@@ -1,0 +1,68 @@
+//! Asynchronous multi-source ingestion: the front-end that removes the
+//! last serial stage of the sharded runtime.
+//!
+//! The coordinator of [`crate::parallel::ParallelEngine`] was the single
+//! thread every input tuple had to pass through — the CLASH paper's
+//! scale-out deployment instead assumes tuples arrive from many
+//! independent stream sources concurrently. This module lets N producer
+//! threads ingest in parallel while the coordinator degrades to a
+//! control-plane thread (barriers, plan installs, expiry):
+//!
+//! * [`SourceHandle`] — the producer-side API handed out by
+//!   `ParallelEngine::open_source`. Each handle owns a private ingress
+//!   router: it resolves partition routing with the same
+//!   [`crate::parallel::router::fan_out`] as the coordinator, micro-batches
+//!   deliveries in its own [`crate::parallel::router::BatchBuffer`] (the
+//!   PR 2 batching machinery) and ships them straight to the worker
+//!   shards — no hop through the coordinator thread. Handles never share
+//!   hot state: every slot has its own lock, so producers block each other
+//!   only if the caller shares one handle across threads.
+//! * **Backpressure** — every push first passes an admission gate bounding
+//!   the number of in-flight roots (`EngineConfig::max_inflight_roots`)
+//!   against the global completion watermark, so a slow consumer throttles
+//!   producers instead of letting worker queues grow without limit.
+//! * [`flusher`] — a background thread sweeping the open sources' batch
+//!   buffers on the time trigger (`EngineConfig::micro_batch_max_delay`),
+//!   so a stream that goes sparse or idle cannot strand buffered
+//!   deliveries (and the results they would produce) until the next
+//!   barrier.
+//!
+//! # Exactness under concurrent producers: linearizability
+//!
+//! Every root still receives a unique sequence number (one shared atomic
+//! allocator), so a single logical serial order exists: the allocation
+//! order, which respects every source's push order. The engine's
+//! guarantee is *linearizability with respect to that order* — the result
+//! multiset is exactly what `LocalEngine` produces when ingesting all
+//! pushed tuples in sequence-number order. `SourceHandle::push` returns
+//! the allocated number, so the realized order is observable (the
+//! equivalence property test replays it through `LocalEngine`).
+//!
+//! Which serial order was realized only matters where the seed's
+//! arrival-order semantics make it matter: a pair of tuples joins only if
+//! the stored side both carries a smaller timestamp *and* arrived (was
+//! sequenced) earlier. Streams whose timestamps are consistent with every
+//! source's push order, or whose sources never share join keys, therefore
+//! produce one deterministic multiset under any interleaving; only
+//! cross-source pairs with inverted timestamps depend on the race — the
+//! same way `LocalEngine`'s output depends on arrival order for
+//! out-of-order input.
+//!
+//! Mechanically, what multi-producer delivery breaks is the channel-FIFO
+//! half of the single-coordinator argument: a probe from source A can
+//! reach a (store, partition) before an insert from source B that carries
+//! a *smaller* sequence number. The engine therefore widens the symmetric
+//! pending-prober set ([`crate::parallel::router::symmetric_stores_multi`])
+//! to every store that is both populated and probed the moment a second
+//! producer appears: probes register as pending probers, and the late
+//! insert retro-matches them exactly once — the same mechanism that
+//! already covered forward-fed stores. Per-(source, partition) FIFO holds
+//! per handle (each handle's sends to a worker are dequeued in push
+//! order), which keeps the common in-order case on the fast probe-time
+//! path; the pending probers only pay for the actual races.
+
+pub(crate) mod flusher;
+mod source;
+
+pub use source::SourceHandle;
+pub(crate) use source::{SourceRegistry, SourceSlot};

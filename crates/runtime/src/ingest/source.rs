@@ -1,0 +1,234 @@
+//! The producer-side ingestion API: [`SourceHandle`] and the per-source
+//! slot state the engine and the time-trigger flusher cooperate on.
+
+use crate::metrics::EngineMetrics;
+use crate::parallel::router::{route_root, BatchBuffer, Progress, RootHandle};
+use crate::parallel::worker::WorkerMsg;
+use crate::stats_collector::StatsCollector;
+use clash_catalog::Catalog;
+use clash_common::{ClashError, EpochConfig, RelationId, Result, Timestamp, Tuple};
+use clash_optimizer::TopologyPlan;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration as StdDuration, Instant};
+
+/// Per-source state shared between the producer thread (pushes), the
+/// engine (barrier flush + delta collection, plan swaps) and the
+/// time-trigger flusher. Every source has its own slot and lock, so
+/// producers never contend with each other — only with the rare barrier
+/// or flusher sweep of their own slot.
+#[derive(Debug)]
+pub(crate) struct SourceInner {
+    /// The plan this source routes against (swapped on `install_plan`).
+    pub plan: Arc<TopologyPlan>,
+    /// Locally micro-batched deliveries awaiting shipment.
+    pub buf: BatchBuffer,
+    /// Metrics delta since the engine last drained this slot.
+    pub metrics: EngineMetrics,
+    /// Statistics delta since the engine last drained this slot.
+    pub stats: StatsCollector,
+    /// Maximum stream timestamp pushed through this source.
+    pub max_ts: Timestamp,
+    /// Set when the producer dropped its handle; the engine prunes
+    /// closed, drained slots at the next barrier.
+    pub closed: bool,
+}
+
+/// One registered source: its slot state behind its own mutex.
+#[derive(Debug)]
+pub(crate) struct SourceSlot {
+    /// The slot state; producers hold this lock only for the duration of
+    /// one push or one flush.
+    pub inner: Mutex<SourceInner>,
+}
+
+impl SourceSlot {
+    /// A fresh slot routing against `plan`.
+    pub fn new(
+        plan: Arc<TopologyPlan>,
+        workers: usize,
+        micro_batch: usize,
+        epoch: EpochConfig,
+    ) -> Self {
+        SourceSlot {
+            inner: Mutex::new(SourceInner {
+                plan,
+                buf: BatchBuffer::new(workers, micro_batch),
+                metrics: EngineMetrics::default(),
+                stats: StatsCollector::new(epoch.length),
+                max_ts: Timestamp::ZERO,
+                closed: false,
+            }),
+        }
+    }
+
+    /// Ships everything currently buffered in this slot.
+    pub fn flush_to(&self, senders: &[Sender<WorkerMsg>]) {
+        self.inner.lock().expect("source slot").buf.flush(senders);
+    }
+}
+
+/// The registry the engine and the flusher thread share: every open (or
+/// not yet drained) source slot.
+pub(crate) type SourceRegistry = Arc<Mutex<Vec<Arc<SourceSlot>>>>;
+
+/// A concurrent ingestion endpoint of a
+/// [`crate::parallel::ParallelEngine`], obtained from
+/// `ParallelEngine::open_source` and movable to a producer thread.
+///
+/// Each handle is an independent ingress router: pushes hash-partition
+/// the tuple with the same routing decisions as the engine's own
+/// `ingest`, micro-batch locally and deliver straight to the worker
+/// shards. Any number of handles (plus the coordinator itself) may push
+/// concurrently; the result multiset stays exactly that of sequential
+/// execution (see [`crate::ingest`]).
+///
+/// Pushes after the engine has shut down are silently dropped; barrier
+/// operations on the engine (`flush`, `snapshot`, `install_plan`)
+/// guarantee coverage only of pushes that happened-before the call.
+#[derive(Debug)]
+pub struct SourceHandle {
+    slot: Arc<SourceSlot>,
+    /// Every registered slot (for the backpressure sweep: any source's
+    /// buffered roots can be what the watermark is stuck on).
+    sources: SourceRegistry,
+    senders: Vec<Sender<WorkerMsg>>,
+    next_seq: Arc<AtomicU64>,
+    progress: Arc<Progress>,
+    catalog: Arc<Catalog>,
+    epoch: EpochConfig,
+    /// In-flight-roots bound (0 = unbounded).
+    capacity: usize,
+    /// Time trigger for the local micro-batch buffer.
+    max_delay: StdDuration,
+}
+
+impl SourceHandle {
+    /// Wires a handle to its slot (engine-internal).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        slot: Arc<SourceSlot>,
+        sources: SourceRegistry,
+        senders: Vec<Sender<WorkerMsg>>,
+        next_seq: Arc<AtomicU64>,
+        progress: Arc<Progress>,
+        catalog: Arc<Catalog>,
+        epoch: EpochConfig,
+        capacity: usize,
+        max_delay: StdDuration,
+    ) -> Self {
+        SourceHandle {
+            slot,
+            sources,
+            senders,
+            next_seq,
+            progress,
+            catalog,
+            epoch,
+            capacity,
+            max_delay,
+        }
+    }
+
+    /// Ingests one input tuple through this source, routing it straight
+    /// to the owning worker shards. Join results materialize
+    /// asynchronously; they stream to subscribers as produced and are
+    /// counted at the engine's next barrier.
+    ///
+    /// Returns the root's allocated sequence number: the tuple's position
+    /// in the engine's realized serial order. The engine's results are
+    /// exactly those of `LocalEngine` ingesting all pushed tuples in
+    /// sequence-number order, so recording the returned values makes the
+    /// linearization observable (see [`crate::ingest`]).
+    ///
+    /// Blocks while the engine's in-flight-roots bound is reached
+    /// (backpressure); returns an error for unknown relations or when the
+    /// backpressure gate stalls because the engine died underneath the
+    /// handle.
+    pub fn push(&mut self, relation: RelationId, tuple: Tuple) -> Result<u64> {
+        if self.catalog.relation(relation).is_err() {
+            return Err(ClashError::unknown(format!("relation {relation}")));
+        }
+        self.wait_admission()?;
+        let started = Instant::now();
+        let mut inner = self.slot.inner.lock().expect("source slot");
+        let inner = &mut *inner;
+        inner.metrics.tuples_ingested += 1;
+        inner.max_ts = inner.max_ts.max(tuple.ts);
+        let epoch = self.epoch.epoch_of(tuple.ts);
+        inner.stats.record_arrival(epoch, relation);
+
+        // Sequence allocation happens under the slot lock, so a barrier
+        // that flushed this slot has shipped every seq allocated before it
+        // acquired the lock (its drain loop re-flushes for stragglers).
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        let root = RootHandle::new(seq, self.progress.clone());
+        let plan = Arc::clone(&inner.plan);
+        route_root(
+            &plan,
+            self.senders.len(),
+            relation,
+            &tuple,
+            seq,
+            &root,
+            started,
+            &mut inner.metrics,
+            &mut inner.buf,
+        );
+        if inner.buf.is_full() || inner.buf.is_stale(self.max_delay) {
+            inner.buf.flush(&self.senders);
+        }
+        Ok(seq)
+    }
+
+    /// Ships any locally buffered deliveries immediately instead of
+    /// waiting for the size trigger, the time trigger or a barrier.
+    pub fn flush(&mut self) {
+        self.slot.flush_to(&self.senders);
+    }
+
+    /// Blocks until the in-flight-roots bound admits a new root. The gate
+    /// compares allocated sequence numbers against the completion
+    /// watermark, so it bounds memory across *all* producers combined.
+    fn wait_admission(&self) -> Result<()> {
+        if self.capacity == 0 {
+            return Ok(());
+        }
+        let stalled_after = StdDuration::from_secs(30);
+        let started = Instant::now();
+        loop {
+            let allocated = self.next_seq.load(Ordering::Acquire).saturating_sub(1);
+            let inflight = allocated.saturating_sub(self.progress.watermark());
+            if (inflight as usize) < self.capacity {
+                return Ok(());
+            }
+            // Any registered source's buffered deliveries (ours included)
+            // can be what the watermark is stuck on, and other producers
+            // keep admitting and buffering while we wait — sweep every
+            // iteration (cheap when the buffers are empty).
+            let slots = self.sources.lock().expect("source registry").clone();
+            for slot in slots {
+                slot.flush_to(&self.senders);
+            }
+            self.progress.wait_for_change(StdDuration::from_millis(1));
+            if started.elapsed() >= stalled_after {
+                return Err(ClashError::Runtime(
+                    "source backpressure stalled for 30s: workers are not draining \
+                     roots (worker death, or deliveries stranded in the engine \
+                     thread's micro-batch buffer — run a barrier or ingest to ship \
+                     them)"
+                        .into(),
+                ));
+            }
+        }
+    }
+}
+
+impl Drop for SourceHandle {
+    fn drop(&mut self) {
+        let mut inner = self.slot.inner.lock().expect("source slot");
+        inner.buf.flush(&self.senders);
+        inner.closed = true;
+    }
+}

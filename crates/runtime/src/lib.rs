@@ -19,6 +19,11 @@
 //!   store shard, `partition_hash` routing over channels, and epoch
 //!   barriers that aggregate per-worker metrics/statistics while keeping
 //!   the result set identical to `LocalEngine` (see [`parallel`]),
+//! * [`SourceHandle`] — concurrent multi-source ingestion for the
+//!   parallel engine: N producer threads push straight to the worker
+//!   shards through per-source micro-batching routers with bounded
+//!   in-flight backpressure, while results stream to subscribers between
+//!   barriers (see [`ingest`]),
 //! * [`StatsCollector`] — per-epoch sampling of arrival rates and
 //!   predicate selectivities (the "statistics gathering" of Fig. 5),
 //! * [`AdaptiveController`] — epoch-based re-optimization: statistics from
@@ -29,6 +34,7 @@
 
 pub mod adaptive;
 pub mod engine;
+pub mod ingest;
 pub mod metrics;
 pub mod parallel;
 pub mod stats_collector;
@@ -36,6 +42,7 @@ pub mod store;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveController};
 pub use engine::{EngineConfig, EngineControl, LocalEngine, ResultSink};
+pub use ingest::SourceHandle;
 pub use metrics::{EngineMetrics, LatencyStats, MetricsSnapshot};
 pub use parallel::ParallelEngine;
 pub use stats_collector::StatsCollector;

@@ -3,8 +3,12 @@
 //! aggregates per-worker metrics and statistics deltas.
 
 use crate::engine::{EngineConfig, EngineControl, ResultSink};
+use crate::ingest::flusher::Flusher;
+use crate::ingest::{SourceHandle, SourceRegistry, SourceSlot};
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
-use crate::parallel::router::{fan_out, symmetric_stores, BatchBuffer, Progress, RootHandle};
+use crate::parallel::router::{
+    route_root, symmetric_stores, symmetric_stores_multi, Progress, RootHandle,
+};
 use crate::parallel::shard::StoreLayout;
 use crate::parallel::worker::{run_worker, WorkerAck, WorkerCtx, WorkerMsg};
 use crate::stats_collector::StatsCollector;
@@ -12,8 +16,9 @@ use clash_catalog::Catalog;
 use clash_common::{ClashError, EpochConfig, QueryId, Result, StoreId, Timestamp, Tuple};
 use clash_optimizer::TopologyPlan;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration as StdDuration, Instant};
 
@@ -35,7 +40,7 @@ use std::time::{Duration as StdDuration, Instant};
 /// maintained by the sequence-number probe guard and the symmetric
 /// pending-prober mechanism documented in [`crate::parallel`].
 pub struct ParallelEngine {
-    catalog: Catalog,
+    catalog: Arc<Catalog>,
     config: EngineConfig,
     workers: usize,
     plan: Arc<TopologyPlan>,
@@ -44,10 +49,24 @@ pub struct ParallelEngine {
     ack_rx: Receiver<WorkerAck>,
     progress: Arc<Progress>,
     handles: Vec<JoinHandle<()>>,
-    /// Next root sequence number (roots start at 1).
-    next_seq: u64,
-    /// Micro-batch buffer coalescing per-ingest sends across ingests.
-    outbuf: BatchBuffer,
+    /// Next root sequence number to allocate (roots start at 1). Shared
+    /// with every open [`SourceHandle`], so concurrent producers draw
+    /// from one logical serial order.
+    next_seq: Arc<AtomicU64>,
+    /// Every registered producer slot — the coordinator's own micro-batch
+    /// buffer ([`Self::coord_buf`]) plus one per open source — shared with
+    /// the time-trigger flusher and the backpressure sweeps.
+    sources: SourceRegistry,
+    /// Sources handed out so far (drives the multi-producer widening).
+    sources_opened: usize,
+    /// Whether the widened multi-producer symmetric set is installed.
+    multi_symmetric: bool,
+    /// Background time-trigger flusher sweeping all registered slots.
+    flusher: Option<Flusher>,
+    /// The coordinator's own producer slot: micro-batch buffer coalescing
+    /// per-ingest sends across ingests. Registered in [`Self::sources`]
+    /// so the flusher and admission sweeps cover it like any source's.
+    coord_buf: Arc<SourceSlot>,
     metrics: EngineMetrics,
     stats: StatsCollector,
     results: Vec<(QueryId, Tuple)>,
@@ -116,8 +135,25 @@ impl ParallelEngine {
                 .expect("spawn worker thread");
             handles.push(handle);
         }
+        let coord_buf = Arc::new(SourceSlot::new(
+            plan.clone(),
+            workers,
+            config.micro_batch,
+            config.epoch,
+        ));
+        let sources: SourceRegistry = Arc::new(Mutex::new(vec![coord_buf.clone()]));
+        // The flusher runs whenever the time trigger is enabled, so even
+        // a fully idle producer (the coordinator included) cannot strand
+        // buffered deliveries past `micro_batch_max_delay`.
+        let flusher = (config.micro_batch_max_delay > StdDuration::ZERO).then(|| {
+            Flusher::spawn(
+                sources.clone(),
+                senders.clone(),
+                config.micro_batch_max_delay,
+            )
+        });
         ParallelEngine {
-            catalog,
+            catalog: Arc::new(catalog),
             config,
             workers,
             plan,
@@ -126,8 +162,12 @@ impl ParallelEngine {
             ack_rx,
             progress,
             handles,
-            next_seq: 1,
-            outbuf: BatchBuffer::new(workers, config.micro_batch),
+            next_seq: Arc::new(AtomicU64::new(1)),
+            sources,
+            sources_opened: 0,
+            multi_symmetric: false,
+            flusher,
+            coord_buf,
             metrics: EngineMetrics::default(),
             stats: StatsCollector::new(config.epoch.length),
             results: Vec::new(),
@@ -158,9 +198,130 @@ impl ParallelEngine {
     pub fn set_sink(&mut self, sink: ResultSink) {
         self.sink = Some(sink);
         self.forward_results = true;
-        self.outbuf.flush(&self.senders);
+        self.coord_buf.flush_to(&self.senders);
         for s in &self.senders {
             let _ = s.send(WorkerMsg::ForwardResults(true));
+        }
+    }
+
+    /// Opens a concurrent ingestion source: the returned [`SourceHandle`]
+    /// can be moved to a producer thread and pushed independently of this
+    /// engine handle (and of every other source). Opening a second
+    /// producer switches the workers to the widened multi-producer
+    /// symmetric set (see [`crate::ingest`]); with a single source the
+    /// delivery order stays serial and the narrow set suffices.
+    pub fn open_source(&mut self) -> SourceHandle {
+        // Everything the coordinator ingested so far must be enqueued
+        // before the new source's first push can be.
+        self.coord_buf.flush_to(&self.senders);
+        if self.sources_opened >= 1 {
+            self.widen_symmetric();
+        }
+        self.sources_opened += 1;
+        let slot = Arc::new(SourceSlot::new(
+            self.plan.clone(),
+            self.workers,
+            self.config.micro_batch,
+            self.config.epoch,
+        ));
+        self.sources
+            .lock()
+            .expect("source registry")
+            .push(slot.clone());
+        SourceHandle::new(
+            slot,
+            self.sources.clone(),
+            self.senders.clone(),
+            self.next_seq.clone(),
+            self.progress.clone(),
+            self.catalog.clone(),
+            self.config.epoch,
+            self.config.max_inflight_roots,
+            self.config.micro_batch_max_delay,
+        )
+    }
+
+    /// Subscribes to the result stream: every join result emitted from
+    /// now on is delivered on the returned channel *as it is produced* on
+    /// the workers — between barriers, not only at epoch ends. The
+    /// channel disconnects when the engine shuts down. A later call
+    /// replaces the subscription (the previous receiver disconnects).
+    ///
+    /// The channel is unbounded by design: a bounded one would block
+    /// workers against a stalled subscriber, and the engine thread
+    /// blocking in a barrier while holding the receiver would then
+    /// deadlock. The `max_inflight_roots` gate bounds *input*; the
+    /// subscriber must keep pace with the *output* it asked for (join
+    /// amplification means one admitted root can emit many results).
+    pub fn subscribe(&mut self) -> Receiver<(QueryId, Tuple)> {
+        let (tx, rx) = channel();
+        self.coord_buf.flush_to(&self.senders);
+        for s in &self.senders {
+            let _ = s.send(WorkerMsg::Subscribe(tx.clone()));
+        }
+        rx
+    }
+
+    /// Number of ingestion sources opened over the engine's lifetime
+    /// (dropped handles included).
+    pub fn sources_open(&self) -> usize {
+        self.sources_opened
+    }
+
+    /// Roots currently in flight: allocated sequence numbers not yet
+    /// covered by the completion watermark (what the
+    /// `max_inflight_roots` backpressure gate bounds).
+    pub fn inflight(&self) -> u64 {
+        let allocated = self.next_seq.load(Ordering::Acquire).saturating_sub(1);
+        allocated.saturating_sub(self.progress.watermark())
+    }
+
+    /// Installs the widened multi-producer symmetric set on every worker.
+    /// Safe mid-stream: the exactly-once pending-prober argument holds
+    /// for any symmetric set, and the message is enqueued before any
+    /// delivery of the producer that triggered the widening.
+    fn widen_symmetric(&mut self) {
+        if self.multi_symmetric {
+            return;
+        }
+        self.multi_symmetric = true;
+        self.symmetric = Arc::new(symmetric_stores_multi(&self.plan));
+        self.coord_buf.flush_to(&self.senders);
+        for s in &self.senders {
+            let _ = s.send(WorkerMsg::SetSymmetric(self.symmetric.clone()));
+        }
+    }
+
+    /// Backpressure gate of the coordinator's own ingest path (the
+    /// source-side equivalent lives in [`SourceHandle`]).
+    fn wait_admission(&mut self) {
+        let cap = self.config.max_inflight_roots;
+        if cap == 0 {
+            return;
+        }
+        let mut since_liveness_check = Instant::now();
+        loop {
+            let allocated = self.next_seq.load(Ordering::Acquire).saturating_sub(1);
+            if (allocated.saturating_sub(self.progress.watermark()) as usize) < cap {
+                return;
+            }
+            // Any registered slot's buffered deliveries (our own
+            // included) can be what the watermark is stuck on, and
+            // sources keep admitting and buffering while we wait — sweep
+            // every iteration (cheap when the buffers are empty), exactly
+            // like the drain barrier's straggler sweep.
+            self.flush_sources();
+            self.progress.wait_for_change(StdDuration::from_millis(1));
+            if since_liveness_check.elapsed() >= StdDuration::from_secs(1) {
+                since_liveness_check = Instant::now();
+                if let Some(dead) = self.handles.iter().position(|h| h.is_finished()) {
+                    panic!(
+                        "parallel engine backpressure stalled: worker {dead} died \
+                         (watermark {})",
+                        self.progress.watermark()
+                    );
+                }
+            }
         }
     }
 
@@ -169,9 +330,21 @@ impl ParallelEngine {
     /// and collected at the next barrier ([`Self::flush`] /
     /// [`Self::snapshot`]), so this always returns 0 pending results.
     pub fn ingest(&mut self, relation: clash_common::RelationId, tuple: Tuple) -> Result<u64> {
+        if self.handles.is_empty() {
+            return Err(ClashError::Runtime(
+                "parallel engine has been shut down".into(),
+            ));
+        }
         if self.catalog.relation(relation).is_err() {
             return Err(ClashError::unknown(format!("relation {relation}")));
         }
+        if self.sources_opened > 0 && !self.multi_symmetric {
+            // The coordinator becomes a second concurrent producer beside
+            // the open source: widen the symmetric set before this
+            // delivery can race a source's.
+            self.widen_symmetric();
+        }
+        self.wait_admission();
         if self.active_since.is_none() {
             self.active_since = Some(Instant::now());
         }
@@ -181,42 +354,36 @@ impl ParallelEngine {
         let epoch = self.config.epoch.epoch_of(tuple.ts);
         self.stats.record_arrival(epoch, relation);
 
-        let seq = self.next_seq;
-        self.next_seq += 1;
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
         let root = RootHandle::new(seq, self.progress.clone());
-        for target in self.plan.ingest_for(relation) {
-            let Some((spec, deliveries)) = fan_out(
+        {
+            let mut inner = self.coord_buf.inner.lock().expect("coordinator buffer");
+            route_root(
                 &self.plan,
                 self.workers,
-                *target,
-                tuple.clone(),
+                relation,
+                &tuple,
                 seq,
                 &root,
                 started,
-            ) else {
-                continue;
-            };
-            self.metrics.tuples_sent += spec.copies();
-            if spec.broadcast {
-                self.metrics.broadcasts += 1;
+                &mut self.metrics,
+                &mut inner.buf,
+            );
+            // Micro-batching: ship the buffered deliveries only once the
+            // size or time trigger fires (or at the next barrier/expiry),
+            // coalescing many ingests into one channel message per worker.
+            // The flusher thread sweeps this buffer too, covering the
+            // idle-coordinator case this check cannot.
+            if inner.buf.is_full() || inner.buf.is_stale(self.config.micro_batch_max_delay) {
+                inner.buf.flush(&self.senders);
             }
-            for (worker, delivery) in deliveries {
-                self.outbuf.push(worker, delivery);
-            }
-        }
-        root.release_bias();
-        // Micro-batching: ship the buffered deliveries only once the size
-        // trigger fires (or at the next barrier/expiry), coalescing many
-        // ingests into one channel message per worker.
-        if self.outbuf.is_full() {
-            self.outbuf.flush(&self.senders);
         }
 
         self.since_expiry += 1;
         if self.config.expire_every > 0 && self.since_expiry >= self.config.expire_every {
             // Keep channel order: buffered inserts must reach the workers
             // before the expiry that might otherwise run ahead of them.
-            self.outbuf.flush(&self.senders);
+            self.coord_buf.flush_to(&self.senders);
             for s in &self.senders {
                 let _ = s.send(WorkerMsg::Expire { upto: self.max_ts });
             }
@@ -225,29 +392,86 @@ impl ParallelEngine {
         Ok(0)
     }
 
+    /// Flushes every registered slot's locally buffered deliveries to
+    /// the workers — the coordinator's own micro-batch buffer and every
+    /// open source (barrier prelude; re-run inside drain loops so a push
+    /// that raced the first pass still ships).
+    fn flush_sources(&self) {
+        let slots = self.sources.lock().expect("source registry").clone();
+        for slot in slots {
+            slot.flush_to(&self.senders);
+        }
+    }
+
+    /// Drains every source slot's metrics/statistics deltas into the
+    /// coordinator aggregates and prunes slots whose handle was dropped
+    /// and whose buffer is empty.
+    fn drain_source_deltas(&mut self) {
+        let slots = self.sources.lock().expect("source registry").clone();
+        let mut any_closed = false;
+        for slot in &slots {
+            let mut inner = slot.inner.lock().expect("source slot");
+            inner.buf.flush(&self.senders);
+            self.metrics.merge(&std::mem::take(&mut inner.metrics));
+            self.stats.merge(inner.stats.take_delta());
+            self.max_ts = self.max_ts.max(inner.max_ts);
+            any_closed |= inner.closed;
+        }
+        if any_closed {
+            self.sources
+                .lock()
+                .expect("source registry")
+                .retain(|slot| {
+                    let inner = slot.inner.lock().expect("source slot");
+                    !(inner.closed && inner.buf.is_empty())
+                });
+        }
+    }
+
     /// Blocks until every delivery of every ingested root has been
     /// processed on every worker (the deterministic drain barrier).
     /// Panics with a diagnostic if a worker thread has died — its roots
     /// would never complete and the drain would otherwise spin forever.
     fn barrier_drain(&mut self) {
-        // Ship any micro-batched deliveries first, or their roots could
-        // never complete and the drain would stall.
-        self.outbuf.flush(&self.senders);
-        let last = self.next_seq - 1;
+        if !self.try_drain(None) {
+            panic!(
+                "parallel engine drain barrier failed: a worker thread died \
+                 (watermark {})",
+                self.progress.watermark()
+            );
+        }
+    }
+
+    /// The drain loop behind [`Self::barrier_drain`] and the shutdown
+    /// path. Ships the coordinator's and every source's buffered
+    /// deliveries, then waits for the completion watermark to cover every
+    /// root allocated so far. Returns `false` (instead of panicking) when
+    /// a worker died or `deadline` elapsed.
+    fn try_drain(&mut self, deadline: Option<StdDuration>) -> bool {
+        // Ship any micro-batched deliveries first (the coordinator's own
+        // slot included), or their roots could never complete and the
+        // drain would stall.
+        self.flush_sources();
+        let last = self.next_seq.load(Ordering::Acquire).saturating_sub(1);
+        let started = Instant::now();
         let mut since_liveness_check = Instant::now();
         while self.progress.watermark() < last {
             self.progress.wait_for_change(StdDuration::from_millis(1));
+            // A producer may have allocated a sequence number covered by
+            // `last` but buffered its deliveries after the prelude flush;
+            // keep sweeping so those roots can complete.
+            self.flush_sources();
+            if deadline.is_some_and(|d| started.elapsed() >= d) {
+                return false;
+            }
             if since_liveness_check.elapsed() >= StdDuration::from_secs(1) {
                 since_liveness_check = Instant::now();
-                if let Some(dead) = self.handles.iter().position(|h| h.is_finished()) {
-                    panic!(
-                        "parallel engine drain barrier failed: worker {dead} died \
-                         (watermark {} of {last})",
-                        self.progress.watermark()
-                    );
+                if self.handles.iter().any(|h| h.is_finished()) {
+                    return false;
                 }
             }
         }
+        true
     }
 
     /// Runs a collection round: every worker replies with its deltas,
@@ -255,21 +479,35 @@ impl ParallelEngine {
     /// called after [`Self::barrier_drain`]. Returns the number of tuples
     /// removed when `expire_upto` is set.
     fn collect(&mut self, expire_upto: Option<Timestamp>) -> usize {
+        self.collect_inner(expire_upto, false)
+    }
+
+    fn collect_inner(&mut self, expire_upto: Option<Timestamp>, lenient: bool) -> usize {
+        self.drain_source_deltas();
         self.token += 1;
         let token = self.token;
         for s in &self.senders {
-            s.send(WorkerMsg::Collect { token, expire_upto })
-                .expect("worker alive");
+            let sent = s.send(WorkerMsg::Collect { token, expire_upto });
+            if !lenient {
+                sent.expect("worker alive");
+            }
         }
-        self.await_acks(token)
+        self.await_acks(token, lenient)
     }
 
-    /// Receives one ack per worker for `token`, merging all deltas.
-    fn await_acks(&mut self, token: u64) -> usize {
+    /// Receives one ack per worker for `token`, merging all deltas. In
+    /// lenient mode (shutdown path) a dead worker aborts the round
+    /// instead of panicking.
+    fn await_acks(&mut self, token: u64, lenient: bool) -> usize {
         let mut acked = vec![false; self.workers];
         let mut expired = 0;
+        let timeout = if lenient {
+            StdDuration::from_secs(5)
+        } else {
+            StdDuration::from_secs(30)
+        };
         while acked.iter().any(|a| !a) {
-            match self.ack_rx.recv_timeout(StdDuration::from_secs(30)) {
+            match self.ack_rx.recv_timeout(timeout) {
                 Ok(ack) => {
                     assert_eq!(ack.token, token, "barrier tokens are strictly ordered");
                     acked[ack.worker] = true;
@@ -288,9 +526,15 @@ impl ParallelEngine {
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => {
+                    if lenient {
+                        break;
+                    }
                     panic!("parallel engine barrier timed out: a worker thread died");
                 }
                 Err(RecvTimeoutError::Disconnected) => {
+                    if lenient {
+                        break;
+                    }
                     panic!("parallel engine barrier failed: all workers gone");
                 }
             }
@@ -302,6 +546,9 @@ impl ParallelEngine {
     /// epoch barrier. After `flush` the coordinator's metrics, statistics
     /// and collected results reflect everything ingested so far.
     pub fn flush(&mut self) {
+        if self.handles.is_empty() {
+            return; // already shut down
+        }
         self.barrier_drain();
         self.collect(None);
         if let Some(started) = self.active_since.take() {
@@ -312,7 +559,15 @@ impl ParallelEngine {
     /// Expires out-of-window tuples from every shard (drains first so the
     /// count is deterministic).
     pub fn expire_stores(&mut self) -> usize {
+        if self.handles.is_empty() {
+            return 0; // already shut down
+        }
         self.barrier_drain();
+        // Fold the source slots' stream clocks in before computing the
+        // horizon: on source-fed streams `self.max_ts` only advances when
+        // deltas are drained, and the expiry horizon must cover
+        // everything pushed so far.
+        self.drain_source_deltas();
         let expired = self.collect(Some(self.max_ts));
         if let Some(started) = self.active_since.take() {
             self.wall_busy += started.elapsed();
@@ -322,13 +577,32 @@ impl ParallelEngine {
 
     /// Installs (or replaces) the plan after a drain barrier. Shard state
     /// with matching descriptor keys is carried over, mirroring the
-    /// sequential engine's rewiring (Section VI-A/B).
+    /// sequential engine's rewiring (Section VI-A/B). Open sources are
+    /// rewired to route against the new plan; producers must quiesce
+    /// around the install (pushes racing it may be dropped by workers
+    /// that already switched plans).
     pub fn install_plan(&mut self, plan: TopologyPlan) {
+        if self.handles.is_empty() {
+            return; // already shut down
+        }
         self.flush();
         let plan = Arc::new(plan);
         let layout = Arc::new(StoreLayout::derive(&self.catalog, &plan));
-        self.symmetric = Arc::new(symmetric_stores(&plan));
+        self.symmetric = Arc::new(if self.multi_symmetric {
+            symmetric_stores_multi(&plan)
+        } else {
+            symmetric_stores(&plan)
+        });
         self.plan = plan.clone();
+        // Rewire open sources: residual old-plan deliveries ship before
+        // the Install message is enqueued, new pushes route via the new
+        // plan.
+        let slots = self.sources.lock().expect("source registry").clone();
+        for slot in &slots {
+            let mut inner = slot.inner.lock().expect("source slot");
+            inner.buf.flush(&self.senders);
+            inner.plan = plan.clone();
+        }
         self.token += 1;
         let token = self.token;
         for s in &self.senders {
@@ -340,7 +614,7 @@ impl ParallelEngine {
             })
             .expect("worker alive");
         }
-        self.await_acks(token);
+        self.await_acks(token, false);
     }
 
     /// The currently installed plan.
@@ -427,6 +701,36 @@ impl ParallelEngine {
         self.wall_busy = StdDuration::ZERO;
         self.worker_busy = vec![StdDuration::ZERO; self.workers];
     }
+
+    /// Drains all in-flight work (delivering outstanding results to the
+    /// sink and the collected-results buffer), then stops and joins every
+    /// worker thread and the flusher. Called automatically on drop, so
+    /// results produced after the last explicit barrier are not lost;
+    /// calling it explicitly makes the final collection observable before
+    /// the engine goes away. Idempotent; the engine is inert afterwards
+    /// (barriers no-op, `ingest` returns an error, source pushes are
+    /// dropped).
+    pub fn shutdown(&mut self) {
+        if self.handles.is_empty() {
+            return;
+        }
+        let workers_alive = !self.handles.iter().any(|h| h.is_finished());
+        if workers_alive && self.try_drain(Some(StdDuration::from_secs(10))) {
+            self.collect_inner(None, true);
+            if let Some(started) = self.active_since.take() {
+                self.wall_busy += started.elapsed();
+            }
+        }
+        for s in &self.senders {
+            let _ = s.send(WorkerMsg::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(mut flusher) = self.flusher.take() {
+            flusher.stop();
+        }
+    }
 }
 
 impl EngineControl for ParallelEngine {
@@ -449,13 +753,24 @@ impl EngineControl for ParallelEngine {
 
 impl Drop for ParallelEngine {
     fn drop(&mut self) {
-        self.outbuf.flush(&self.senders);
-        for s in &self.senders {
-            let _ = s.send(WorkerMsg::Shutdown);
+        if std::thread::panicking() {
+            // Unwinding: skip the drain (it could panic again and abort);
+            // just stop the threads.
+            self.coord_buf.flush_to(&self.senders);
+            for s in &self.senders {
+                let _ = s.send(WorkerMsg::Shutdown);
+            }
+            for handle in self.handles.drain(..) {
+                let _ = handle.join();
+            }
+            if let Some(mut flusher) = self.flusher.take() {
+                flusher.stop();
+            }
+            return;
         }
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
+        // Drain in-flight batches first so results produced after the
+        // last explicit barrier still reach the sink / results buffer.
+        self.shutdown();
     }
 }
 

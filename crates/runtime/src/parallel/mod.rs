@@ -52,6 +52,18 @@
 //!    ever waits. The completion watermark only garbage-collects probers
 //!    that can no longer receive late inserts.
 
+//!
+//! # Multi-producer ingestion
+//!
+//! With [`crate::ingest::SourceHandle`]s open, deliveries no longer all
+//! originate from the coordinator, so mechanism 1 only holds per
+//! producer. The engine then widens the symmetric set of mechanism 3 to
+//! every store that is both populated and probed
+//! ([`router::symmetric_stores_multi`]): cross-producer (probe, insert)
+//! races resolve through pending probers exactly as forward-fed stores
+//! always did, and the coordinator becomes a control-plane thread
+//! (barriers, plan installs, expiry). See [`crate::ingest`].
+
 pub(crate) mod coordinator;
 pub(crate) mod router;
 pub(crate) mod shard;

@@ -167,6 +167,42 @@ pub(crate) fn fan_out(
     Some((spec, deliveries))
 }
 
+/// Routes one ingested root to every target store of its relation: the
+/// shared front half of `ParallelEngine::ingest` and
+/// [`crate::ingest::SourceHandle`] pushes. Fans out each target, accounts
+/// `tuples_sent`/`broadcasts` exactly like the sequential engine, buffers
+/// the deliveries and releases the root's creator bias. Keeping both
+/// producers on this single path means a change to routing or accounting
+/// cannot silently diverge between them.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn route_root(
+    plan: &TopologyPlan,
+    workers: usize,
+    relation: clash_common::RelationId,
+    tuple: &Tuple,
+    seq: u64,
+    root: &Arc<RootHandle>,
+    started: Instant,
+    metrics: &mut crate::metrics::EngineMetrics,
+    buf: &mut BatchBuffer,
+) {
+    for target in plan.ingest_for(relation) {
+        let Some((spec, deliveries)) =
+            fan_out(plan, workers, *target, tuple.clone(), seq, root, started)
+        else {
+            continue;
+        };
+        metrics.tuples_sent += spec.copies();
+        if spec.broadcast {
+            metrics.broadcasts += 1;
+        }
+        for (worker, delivery) in deliveries {
+            buf.push(worker, delivery);
+        }
+    }
+    root.release_bias();
+}
+
 /// Coalesces the coordinator's per-ingest deliveries into larger
 /// per-worker `Batch` messages, cutting per-message channel overhead on
 /// the ingest hot path (ROADMAP: micro-batching across ingests).
@@ -185,6 +221,9 @@ pub(crate) struct BatchBuffer {
     /// Size trigger: flush once this many deliveries are buffered
     /// (`<= 1` restores the seed's send-per-ingest behavior).
     capacity: usize,
+    /// Wall-clock instant of the oldest buffered delivery (the time
+    /// trigger `EngineConfig::micro_batch_max_delay` measures from).
+    since: Option<Instant>,
 }
 
 impl BatchBuffer {
@@ -194,6 +233,7 @@ impl BatchBuffer {
             per_worker: (0..workers).map(|_| Vec::new()).collect(),
             buffered: 0,
             capacity: capacity.max(1),
+            since: None,
         }
     }
 
@@ -201,11 +241,26 @@ impl BatchBuffer {
     pub fn push(&mut self, worker: usize, delivery: Delivery) {
         self.per_worker[worker].push(delivery);
         self.buffered += 1;
+        if self.since.is_none() {
+            self.since = Some(Instant::now());
+        }
     }
 
     /// `true` once the size trigger is reached.
     pub fn is_full(&self) -> bool {
         self.buffered >= self.capacity
+    }
+
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buffered == 0
+    }
+
+    /// `true` once the oldest buffered delivery is older than `max_delay`
+    /// (the time trigger; `ZERO` disables it).
+    pub fn is_stale(&self, max_delay: std::time::Duration) -> bool {
+        max_delay > std::time::Duration::ZERO
+            && self.since.is_some_and(|since| since.elapsed() >= max_delay)
     }
 
     /// Ships every buffered delivery as one `Batch` message per worker.
@@ -214,6 +269,7 @@ impl BatchBuffer {
             return;
         }
         self.buffered = 0;
+        self.since = None;
         for (worker, batch) in self.per_worker.iter_mut().enumerate() {
             if !batch.is_empty() {
                 // A send only fails after shutdown; deliveries are then moot.
@@ -277,6 +333,34 @@ pub(crate) fn symmetric_stores(plan: &TopologyPlan) -> HashSet<StoreId> {
                     symmetric.insert(next.store);
                 }
             }
+        }
+    }
+    symmetric
+}
+
+/// The widened symmetric set for multi-producer ingestion: once two or
+/// more producers (open [`crate::ingest::SourceHandle`]s and/or the
+/// coordinator's own `ingest`) deliver concurrently, a probe and an
+/// insert at *any* store can ride different sender paths, so channel FIFO
+/// no longer orders them — not just at the forward-fed stores of
+/// [`symmetric_stores`]. Every store that is both populated (a `Store`
+/// rule on some edge) and probed (a `Probe` rule on some edge) therefore
+/// joins the symmetric set: its probes register as pending probers and
+/// late inserts with smaller sequence numbers retro-match them. The
+/// exactly-once argument is unchanged — it never depended on *which*
+/// stores are symmetric — so the widening trades some pending-prober
+/// bookkeeping for exactness under concurrent ingestion.
+pub(crate) fn symmetric_stores_multi(plan: &TopologyPlan) -> HashSet<StoreId> {
+    let mut symmetric = symmetric_stores(plan);
+    let storing: HashSet<StoreId> = plan
+        .rules
+        .iter()
+        .filter(|(_, rules)| rules.iter().any(|r| matches!(r, Rule::Store)))
+        .map(|((store, _), _)| *store)
+        .collect();
+    for ((store, _), rules) in &plan.rules {
+        if storing.contains(store) && rules.iter().any(|r| matches!(r, Rule::Probe { .. })) {
+            symmetric.insert(*store);
         }
     }
     symmetric

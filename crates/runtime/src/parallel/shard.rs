@@ -37,6 +37,7 @@ use clash_common::{
 };
 use clash_optimizer::{OutputAction, Rule, TopologyPlan};
 use std::collections::{HashMap, HashSet};
+use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -147,6 +148,33 @@ impl PendingSet {
     }
 }
 
+/// Records one emitted join result: counts it, streams it to the
+/// subscription (clearing a hung-up subscriber) and retains it for the
+/// coordinator when requested. The single emission path of both the
+/// probe-time and the retroactive match — a free function over disjoint
+/// fields so call sites holding store/pending borrows can still use it.
+fn emit_result(
+    metrics: &mut EngineMetrics,
+    results: &mut Vec<(QueryId, Tuple)>,
+    subscription: &mut Option<Sender<(QueryId, Tuple)>>,
+    forward_results: bool,
+    query: QueryId,
+    joined: &Tuple,
+    started: Instant,
+) {
+    *metrics.results.entry(query).or_default() += 1;
+    metrics.record_latency(started.elapsed());
+    if let Some(tx) = subscription {
+        if tx.send((query, joined.clone())).is_err() {
+            // The subscriber hung up: stop paying the per-result clone.
+            *subscription = None;
+        }
+    }
+    if forward_results {
+        results.push((query, joined.clone()));
+    }
+}
+
 /// The state owned by one worker thread.
 #[derive(Debug)]
 pub(crate) struct ShardState {
@@ -167,6 +195,9 @@ pub(crate) struct ShardState {
     pub results: Vec<(QueryId, Tuple)>,
     /// Whether emitted result tuples are retained for the coordinator.
     pub forward_results: bool,
+    /// Streaming result subscription: emitted results are sent here the
+    /// moment they are produced, without waiting for a barrier.
+    pub subscription: Option<Sender<(QueryId, Tuple)>>,
 }
 
 impl ShardState {
@@ -190,9 +221,18 @@ impl ShardState {
             stats: StatsCollector::new(epoch.length),
             results: Vec::new(),
             forward_results,
+            subscription: None,
         };
         shard.install(plan, layout, symmetric);
         shard
+    }
+
+    /// Replaces the symmetric store set in place (the multi-producer
+    /// widening). Already-registered pending probers stay registered: the
+    /// exactly-once argument holds for any symmetric set, so widening
+    /// mid-stream is safe without a drain.
+    pub fn set_symmetric(&mut self, symmetric: Arc<HashSet<StoreId>>) {
+        self.symmetric = symmetric;
     }
 
     /// Installs a plan, carrying over the state of stores whose descriptor
@@ -326,11 +366,15 @@ impl ShardState {
                         for action in outputs {
                             match action {
                                 OutputAction::Emit { query } => {
-                                    *self.metrics.results.entry(*query).or_default() += 1;
-                                    self.metrics.record_latency(delivery.started.elapsed());
-                                    if self.forward_results {
-                                        self.results.push((*query, joined.clone()));
-                                    }
+                                    emit_result(
+                                        &mut self.metrics,
+                                        &mut self.results,
+                                        &mut self.subscription,
+                                        self.forward_results,
+                                        *query,
+                                        &joined,
+                                        delivery.started,
+                                    );
                                 }
                                 OutputAction::Forward(next) => {
                                     out.forward(
@@ -451,11 +495,15 @@ impl ShardState {
                 for action in outputs {
                     match action {
                         OutputAction::Emit { query } => {
-                            *self.metrics.results.entry(*query).or_default() += 1;
-                            self.metrics.record_latency(prober.started.elapsed());
-                            if self.forward_results {
-                                self.results.push((*query, joined.clone()));
-                            }
+                            emit_result(
+                                &mut self.metrics,
+                                &mut self.results,
+                                &mut self.subscription,
+                                self.forward_results,
+                                *query,
+                                &joined,
+                                prober.started,
+                            );
                         }
                         OutputAction::Forward(next) => {
                             out.forward(

@@ -79,6 +79,12 @@ pub(crate) enum WorkerMsg {
     },
     /// Toggles retention of emitted result tuples for the coordinator.
     ForwardResults(bool),
+    /// Installs a result subscription: every result emitted from here on
+    /// streams to the subscriber as it is produced, between barriers.
+    Subscribe(Sender<(QueryId, Tuple)>),
+    /// Replaces the symmetric store set (multi-producer widening) without
+    /// reinstalling the plan or touching shard state.
+    SetSymmetric(Arc<HashSet<StoreId>>),
     /// Terminates the worker loop.
     Shutdown,
 }
@@ -235,6 +241,12 @@ pub(crate) fn run_worker(ctx: WorkerCtx, rx: Receiver<WorkerMsg>) {
             }
             WorkerMsg::ForwardResults(on) => {
                 shard.forward_results = on;
+            }
+            WorkerMsg::Subscribe(tx) => {
+                shard.subscription = Some(tx);
+            }
+            WorkerMsg::SetSymmetric(symmetric) => {
+                shard.set_symmetric(symmetric);
             }
             WorkerMsg::Shutdown => break,
         }

@@ -1,0 +1,471 @@
+//! Exactness and liveness of the async multi-source ingestion front-end.
+//!
+//! The contract under test is linearizability: K producer threads pushing
+//! concurrently through their own `SourceHandle`s — with out-of-order
+//! timestamps and any interleaving the scheduler picks — must produce
+//! exactly the result multiset of single-threaded `LocalEngine` ingestion
+//! of the same tuples in the realized serial order (`push` returns each
+//! tuple's allocated sequence number, so that order is observable).
+//! Sources with disjoint join keys additionally produce one deterministic
+//! multiset under *any* interleaving, which pins the contract without
+//! replaying the realized order. On top of exactness: results stream to
+//! subscribers between barriers, backpressure bounds in-flight roots, the
+//! time trigger flushes sparse streams, and engine drop drains whatever
+//! the last explicit barrier did not cover.
+
+use clash_catalog::{Catalog, Statistics};
+use clash_common::{QueryId, RelationId, Timestamp, Tuple, TupleBuilder, Window};
+use clash_optimizer::{Planner, Strategy, TopologyPlan};
+use clash_query::parse_query;
+use clash_runtime::{EngineConfig, LocalEngine, ParallelEngine};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn catalog_with_parallelism(parallelism: usize) -> (Catalog, Vec<clash_query::JoinQuery>) {
+    let mut catalog = Catalog::new();
+    catalog
+        .register("A", ["x"], Window::secs(3600), parallelism)
+        .unwrap();
+    catalog
+        .register("B", ["x", "y"], Window::secs(3600), parallelism)
+        .unwrap();
+    catalog
+        .register("C", ["y", "z"], Window::secs(3600), parallelism)
+        .unwrap();
+    catalog.register("D", ["z"], Window::secs(3600), 1).unwrap();
+    let q1 = parse_query(&catalog, QueryId::new(0), "q1", "A(x), B(x,y), C(y)").unwrap();
+    let q2 = parse_query(&catalog, QueryId::new(1), "q2", "B(y), C(y,z), D(z)").unwrap();
+    (catalog, vec![q1, q2])
+}
+
+fn planned(
+    catalog: &Catalog,
+    queries: &[clash_query::JoinQuery],
+    strategy: Strategy,
+) -> TopologyPlan {
+    let stats = Statistics::new();
+    let planner = Planner::with_defaults(catalog, &stats);
+    planner.plan(queries, strategy).unwrap().plan
+}
+
+/// Random stream over all four relations with keys drawn from
+/// `key_lo..key_hi` and out-of-order timestamps (a tuple may carry a
+/// smaller timestamp than an earlier one in the stream).
+fn random_stream(
+    catalog: &Catalog,
+    n_per_relation: usize,
+    key_lo: i64,
+    key_hi: i64,
+    seed: u64,
+) -> Vec<(RelationId, Tuple)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stream = Vec::new();
+    let mut ts = 0u64;
+    for _ in 0..n_per_relation {
+        for name in ["A", "B", "C", "D"] {
+            let meta = catalog.relation_by_name(name).unwrap();
+            ts += 5;
+            let jitter = rng.gen_range(0..10u64);
+            let mut b = TupleBuilder::new(&meta.schema, Timestamp::from_millis(ts + jitter));
+            for attr in &meta.schema.attributes {
+                b = b.set(&attr.name, rng.gen_range(key_lo..key_hi));
+            }
+            stream.push((meta.id, b.build()));
+        }
+    }
+    stream
+}
+
+/// Canonical sortable rendering of a result multiset.
+fn result_multiset(results: &[(QueryId, Tuple)]) -> Vec<String> {
+    let mut rendered: Vec<String> = results
+        .iter()
+        .map(|(q, t)| {
+            let mut attrs: Vec<String> = t.iter().map(|(a, v)| format!("{a}={v}")).collect();
+            attrs.sort();
+            format!("{q}|{}|{}", t.ts, attrs.join(","))
+        })
+        .collect();
+    rendered.sort();
+    rendered
+}
+
+fn run_local(
+    catalog: &Catalog,
+    plan: &TopologyPlan,
+    stream: &[(RelationId, Tuple)],
+) -> Vec<String> {
+    let config = EngineConfig {
+        collect_results: true,
+        ..EngineConfig::default()
+    };
+    let mut engine = LocalEngine::new(catalog.clone(), plan.clone(), config);
+    for (relation, tuple) in stream {
+        engine.ingest(*relation, tuple.clone()).unwrap();
+    }
+    result_multiset(engine.results())
+}
+
+fn collecting_config() -> EngineConfig {
+    EngineConfig {
+        collect_results: true,
+        ..EngineConfig::default()
+    }
+}
+
+/// Splits `stream` round-robin across `sources` producer threads, each
+/// pushing its slice through its own `SourceHandle` while recording the
+/// sequence numbers `push` returns. Returns the collected multiset plus
+/// the realized serial order (all pushes sorted by sequence number).
+fn run_multi_source_recorded(
+    catalog: &Catalog,
+    plan: &TopologyPlan,
+    stream: &[(RelationId, Tuple)],
+    sources: usize,
+    workers: usize,
+    config: EngineConfig,
+) -> (Vec<String>, Vec<(RelationId, Tuple)>) {
+    let mut engine = ParallelEngine::new(catalog.clone(), plan.clone(), config, workers);
+    let mut slices: Vec<Vec<(RelationId, Tuple)>> = (0..sources).map(|_| Vec::new()).collect();
+    for (idx, entry) in stream.iter().enumerate() {
+        slices[idx % sources].push(entry.clone());
+    }
+    let producers: Vec<_> = slices
+        .into_iter()
+        .map(|slice| {
+            let mut handle = engine.open_source();
+            std::thread::spawn(move || {
+                let mut log = Vec::with_capacity(slice.len());
+                for (relation, tuple) in slice {
+                    let seq = handle.push(relation, tuple.clone()).unwrap();
+                    log.push((seq, relation, tuple));
+                }
+                log
+            })
+        })
+        .collect();
+    let mut realized: Vec<(u64, RelationId, Tuple)> = Vec::new();
+    for producer in producers {
+        realized.extend(producer.join().expect("producer thread"));
+    }
+    realized.sort_by_key(|(seq, _, _)| *seq);
+    engine.flush();
+    (
+        result_multiset(engine.results()),
+        realized.into_iter().map(|(_, r, t)| (r, t)).collect(),
+    )
+}
+
+proptest! {
+    /// The headline exactness property: K concurrent sources with
+    /// out-of-order timestamps produce the same result multiset as
+    /// single-threaded `LocalEngine` ingestion of the realized serial
+    /// order (linearizability — the scheduler picks the interleaving,
+    /// `push`'s returned sequence numbers expose it).
+    #[test]
+    fn concurrent_sources_are_linearizable(
+        seed in 0u64..10_000,
+        sources in 2usize..5,
+    ) {
+        let (catalog, queries) = catalog_with_parallelism(4);
+        let plan = planned(&catalog, &queries, Strategy::Shared);
+        let stream = random_stream(&catalog, 12, 0, 5, seed);
+        let (multi, realized) =
+            run_multi_source_recorded(&catalog, &plan, &stream, sources, 4, collecting_config());
+        prop_assert_eq!(realized.len(), stream.len(), "every push sequenced exactly once");
+        let local = run_local(&catalog, &plan, &realized);
+        prop_assert_eq!(local, multi, "seed {}, {} sources", seed, sources);
+    }
+
+    /// Sources with disjoint join keys produce one deterministic multiset
+    /// under any interleaving: the original stream order and every
+    /// realized order agree, so multi-source ingestion must reproduce
+    /// `LocalEngine` on the stream as written.
+    #[test]
+    fn disjoint_key_sources_match_local_on_stream_order(
+        seed in 0u64..10_000,
+        sources in 2usize..4,
+    ) {
+        let (catalog, queries) = catalog_with_parallelism(4);
+        let plan = planned(&catalog, &queries, Strategy::Shared);
+        // Per-source slices drawn from non-overlapping key ranges; the
+        // round-robin split in the runner maps stream[i] to source
+        // i % sources, so build the stream interleaved the same way.
+        let per_source: Vec<Vec<(RelationId, Tuple)>> = (0..sources)
+            .map(|s| {
+                let lo = (s as i64) * 100;
+                random_stream(&catalog, 12, lo, lo + 4, seed.wrapping_add(s as u64))
+            })
+            .collect();
+        let mut stream = Vec::new();
+        for idx in 0..per_source[0].len() * sources {
+            stream.push(per_source[idx % sources][idx / sources].clone());
+        }
+        let local = run_local(&catalog, &plan, &stream);
+        let (multi, _) =
+            run_multi_source_recorded(&catalog, &plan, &stream, sources, 4, collecting_config());
+        prop_assert_eq!(local, multi, "seed {}, {} sources", seed, sources);
+    }
+}
+
+#[test]
+fn many_sources_and_strategies_are_linearizable() {
+    // Heavier deterministic sweep across strategies, source counts and
+    // worker counts (the proptests above fix Shared/4 for case volume).
+    let (catalog, queries) = catalog_with_parallelism(4);
+    for strategy in [Strategy::Independent, Strategy::Shared, Strategy::GlobalIlp] {
+        let plan = planned(&catalog, &queries, strategy);
+        let stream = random_stream(&catalog, 40, 0, 6, 0xBEEF);
+        for (sources, workers) in [(1, 4), (2, 2), (3, 4), (4, 7)] {
+            let (multi, realized) = run_multi_source_recorded(
+                &catalog,
+                &plan,
+                &stream,
+                sources,
+                workers,
+                collecting_config(),
+            );
+            let local = run_local(&catalog, &plan, &realized);
+            assert!(!local.is_empty(), "workload must produce results");
+            assert_eq!(
+                local, multi,
+                "{strategy:?}, {sources} sources, {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_source_matches_local_on_stream_order() {
+    // One source realizes exactly its push order, so no recording is
+    // needed: the multiset must equal LocalEngine on the stream as
+    // written, out-of-order timestamps included.
+    let (catalog, queries) = catalog_with_parallelism(4);
+    let plan = planned(&catalog, &queries, Strategy::GlobalIlp);
+    for seed in [1u64, 2, 3] {
+        let stream = random_stream(&catalog, 30, 0, 5, seed);
+        let local = run_local(&catalog, &plan, &stream);
+        assert!(!local.is_empty());
+        let (multi, realized) =
+            run_multi_source_recorded(&catalog, &plan, &stream, 1, 4, collecting_config());
+        assert_eq!(realized, stream, "a single source realizes push order");
+        assert_eq!(local, multi, "seed {seed}");
+    }
+}
+
+#[test]
+fn micro_batch_and_backpressure_extremes_stay_exact() {
+    // Send-per-push, tiny in-flight bounds (every push waits on the
+    // admission gate) and barrier-only batching must not change results.
+    let (catalog, queries) = catalog_with_parallelism(2);
+    let plan = planned(&catalog, &queries, Strategy::Shared);
+    let stream = random_stream(&catalog, 25, 0, 4, 7);
+    for (micro_batch, max_inflight) in [(1usize, 1usize), (4, 2), (1 << 20, 8), (64, 0)] {
+        let config = EngineConfig {
+            micro_batch,
+            max_inflight_roots: max_inflight,
+            ..collecting_config()
+        };
+        let (multi, realized) = run_multi_source_recorded(&catalog, &plan, &stream, 3, 2, config);
+        let local = run_local(&catalog, &plan, &realized);
+        assert_eq!(
+            local, multi,
+            "micro_batch={micro_batch}, max_inflight_roots={max_inflight}"
+        );
+    }
+}
+
+#[test]
+fn coordinator_and_sources_may_ingest_concurrently() {
+    // The coordinator's own ingest is just another producer. Its slice
+    // and the source's slice use disjoint key ranges, so the combined
+    // multiset is interleaving-independent and must equal LocalEngine on
+    // the two slices back to back.
+    let (catalog, queries) = catalog_with_parallelism(4);
+    let plan = planned(&catalog, &queries, Strategy::Shared);
+    let coordinator_slice = random_stream(&catalog, 30, 0, 5, 21);
+    let source_slice = random_stream(&catalog, 30, 100, 105, 22);
+    let mut combined = coordinator_slice.clone();
+    combined.extend(source_slice.iter().cloned());
+    let local = run_local(&catalog, &plan, &combined);
+    let mut engine = ParallelEngine::new(catalog.clone(), plan, collecting_config(), 4);
+    let mut handle = engine.open_source();
+    let producer = std::thread::spawn(move || {
+        for (relation, tuple) in source_slice {
+            handle.push(relation, tuple).unwrap();
+        }
+    });
+    for (relation, tuple) in &coordinator_slice {
+        engine.ingest(*relation, tuple.clone()).unwrap();
+    }
+    producer.join().expect("producer thread");
+    engine.flush();
+    assert_eq!(local, result_multiset(engine.results()));
+}
+
+#[test]
+fn subscription_streams_results_before_any_barrier() {
+    let (catalog, queries) = catalog_with_parallelism(2);
+    let plan = planned(&catalog, &queries, Strategy::Shared);
+    let stream = random_stream(&catalog, 30, 0, 4, 3);
+    let expected = run_local(&catalog, &plan, &stream).len();
+    assert!(expected > 0);
+    // Send-per-push so nothing lingers in a batch buffer.
+    let config = EngineConfig {
+        micro_batch: 1,
+        ..EngineConfig::default()
+    };
+    let mut engine = ParallelEngine::new(catalog.clone(), plan, config, 2);
+    let rx = engine.subscribe();
+    let mut handle = engine.open_source();
+    let producer = std::thread::spawn(move || {
+        for (relation, tuple) in stream {
+            handle.push(relation, tuple).unwrap();
+        }
+    });
+    // Every result must arrive on the subscription without any flush /
+    // snapshot barrier being run.
+    let mut streamed = 0usize;
+    while streamed < expected {
+        match rx.recv_timeout(Duration::from_secs(10)) {
+            Ok(_) => streamed += 1,
+            Err(e) => panic!("subscription stalled after {streamed}/{expected} results: {e}"),
+        }
+    }
+    producer.join().expect("producer thread");
+    // No duplicates: the barrier must not re-deliver anything.
+    engine.flush();
+    assert!(
+        rx.try_recv().is_err(),
+        "subscription delivered more results than the sequential engine produces"
+    );
+}
+
+#[test]
+fn backpressure_bounds_inflight_roots() {
+    let (catalog, queries) = catalog_with_parallelism(2);
+    let plan = planned(&catalog, &queries, Strategy::Shared);
+    let stream = random_stream(&catalog, 100, 0, 4, 11);
+    let cap = 4usize;
+    let config = EngineConfig {
+        max_inflight_roots: cap,
+        collect_results: true,
+        ..EngineConfig::default()
+    };
+    let mut engine = ParallelEngine::new(catalog.clone(), plan.clone(), config, 2);
+    let mut handle = engine.open_source();
+    let pushed = stream.clone();
+    let producer = std::thread::spawn(move || {
+        for (relation, tuple) in pushed {
+            handle.push(relation, tuple).unwrap();
+        }
+    });
+    // Sample the in-flight gauge while the producer runs: the admission
+    // gate must keep it at or below the bound (the watermark is read
+    // monotonically, so a sample can only under-report).
+    let mut max_seen = 0u64;
+    while !producer.is_finished() {
+        max_seen = max_seen.max(engine.inflight());
+    }
+    producer.join().expect("producer thread");
+    assert!(
+        max_seen <= cap as u64,
+        "in-flight roots reached {max_seen}, bound is {cap}"
+    );
+    engine.flush();
+    // A single source realizes push order: results must match the local
+    // engine on the stream as written despite the throttling.
+    assert_eq!(
+        run_local(&catalog, &plan, &stream),
+        result_multiset(engine.results())
+    );
+}
+
+#[test]
+fn time_trigger_flushes_sparse_streams_without_barriers() {
+    // A barrier-sized micro-batch would hold these three tuples forever;
+    // the time trigger (coordinator check + flusher thread for idle
+    // sources) must push them out and stream the join result.
+    let (catalog, queries) = catalog_with_parallelism(2);
+    let plan = planned(&catalog, &queries, Strategy::Shared);
+    let config = EngineConfig {
+        micro_batch: 1 << 20,
+        micro_batch_max_delay: Duration::from_millis(5),
+        ..EngineConfig::default()
+    };
+    let mut engine = ParallelEngine::new(catalog.clone(), plan, config, 2);
+    let rx = engine.subscribe();
+    let mut handle = engine.open_source();
+    let tuple = |name: &str, ts: u64, values: &[(&str, i64)]| {
+        let meta = catalog.relation_by_name(name).unwrap();
+        let mut b = TupleBuilder::new(&meta.schema, Timestamp::from_millis(ts));
+        for (attr, v) in values {
+            b = b.set(attr, *v);
+        }
+        (meta.id, b.build())
+    };
+    for (relation, t) in [
+        tuple("A", 10, &[("x", 1)]),
+        tuple("B", 20, &[("x", 1), ("y", 2)]),
+        tuple("C", 30, &[("y", 2), ("z", 3)]),
+    ] {
+        handle.push(relation, t).unwrap();
+    }
+    // The A(x) ⋈ B(x,y) ⋈ C(y) result must stream out with no flush, no
+    // further pushes and no barrier: only the flusher thread can ship the
+    // third delivery.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let result = rx.recv_timeout(deadline - Instant::now());
+    assert!(
+        result.is_ok(),
+        "time-triggered flush never delivered the sparse stream's result"
+    );
+}
+
+#[test]
+fn drop_without_barrier_drains_inflight_results() {
+    let (catalog, queries) = catalog_with_parallelism(2);
+    let plan = planned(&catalog, &queries, Strategy::Shared);
+    let stream = random_stream(&catalog, 30, 0, 4, 5);
+    let expected = run_local(&catalog, &plan, &stream).len() as u64;
+    assert!(expected > 0);
+    let mut engine = ParallelEngine::new(catalog.clone(), plan, EngineConfig::default(), 2);
+    let delivered = Arc::new(AtomicU64::new(0));
+    let counter = delivered.clone();
+    engine.set_sink(Box::new(move |_, _| {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }));
+    for (relation, tuple) in &stream {
+        engine.ingest(*relation, tuple.clone()).unwrap();
+    }
+    // No flush, no snapshot: dropping the engine must drain in-flight
+    // batches and deliver every outstanding result to the sink before
+    // joining the workers.
+    drop(engine);
+    assert_eq!(delivered.load(Ordering::Relaxed), expected);
+}
+
+#[test]
+fn explicit_shutdown_is_idempotent_and_inert() {
+    let (catalog, queries) = catalog_with_parallelism(2);
+    let plan = planned(&catalog, &queries, Strategy::Shared);
+    let stream = random_stream(&catalog, 10, 0, 4, 9);
+    let mut engine = ParallelEngine::new(catalog.clone(), plan, collecting_config(), 2);
+    for (relation, tuple) in &stream {
+        engine.ingest(*relation, tuple.clone()).unwrap();
+    }
+    engine.shutdown();
+    let results_after_shutdown = engine.results().len();
+    engine.shutdown(); // idempotent
+    engine.flush(); // inert, must not panic
+    let (relation, tuple) = stream[0].clone();
+    assert!(
+        engine.ingest(relation, tuple).is_err(),
+        "ingest after shutdown must error, not hang"
+    );
+    assert_eq!(engine.results().len(), results_after_shutdown);
+}
