@@ -62,6 +62,17 @@ fn main() {
             r.mode, r.sources, r.wall_tps, r.results, r.busy_balance
         );
     }
+    println!("\n# Reconfiguration under load (quiesced installs, 2 sources)\n");
+    println!(
+        "{:<16} {:>10} {:>16} {:>10}",
+        "installs_every", "installs", "wall_tps[t/s]", "results"
+    );
+    for r in &report.reconfig {
+        println!(
+            "{:<16} {:>10} {:>16.0} {:>10}",
+            r.installs_every, r.installs, r.wall_tps, r.results
+        );
+    }
 
     let json = report_to_json(&report);
     std::fs::write(&out_path, &json).expect("write report");

@@ -26,6 +26,10 @@ pub enum ClashError {
     Solver(String),
     /// A runtime component failed (channel closed, worker panicked, ...).
     Runtime(String),
+    /// The engine has been shut down: ingestion endpoints (coordinator
+    /// `ingest`, `SourceHandle::push`) refuse new tuples instead of
+    /// silently dropping them.
+    Shutdown,
     /// Configuration error (invalid window, epoch length of zero, ...).
     Config(String),
 }
@@ -38,6 +42,7 @@ impl fmt::Display for ClashError {
             ClashError::Optimization(s) => write!(f, "optimization failed: {s}"),
             ClashError::Solver(s) => write!(f, "solver error: {s}"),
             ClashError::Runtime(s) => write!(f, "runtime error: {s}"),
+            ClashError::Shutdown => write!(f, "engine has been shut down"),
             ClashError::Config(s) => write!(f, "configuration error: {s}"),
         }
     }
@@ -79,6 +84,14 @@ mod tests {
             ClashError::unknown("y"),
             ClashError::UnknownEntity(_)
         ));
+    }
+
+    #[test]
+    fn shutdown_error_displays_without_payload() {
+        assert_eq!(
+            ClashError::Shutdown.to_string(),
+            "engine has been shut down"
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@ use clash_runtime::{
     SourceHandle,
 };
 use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Which execution runtime a deployment uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -68,12 +69,20 @@ impl EngineHandle {
         }
     }
 
-    fn results(&self) -> &[(QueryId, Tuple)] {
+    fn results(&self) -> Vec<(QueryId, Tuple)> {
         match self {
-            EngineHandle::Local(e) => e.results(),
+            EngineHandle::Local(e) => e.results().to_vec(),
             EngineHandle::Parallel(e) => e.results(),
         }
     }
+}
+
+/// Locks the shared controller, recovering from poisoning (a panicked
+/// epoch-driver tick must not take query registration down with it).
+fn lock_controller(
+    controller: &Arc<Mutex<AdaptiveController>>,
+) -> std::sync::MutexGuard<'_, AdaptiveController> {
+    controller.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// The CLASH system: catalog + statistics + optimizer + runtime + adaptive
@@ -85,7 +94,12 @@ pub struct ClashSystem {
     queries: Vec<JoinQuery>,
     next_query_id: u32,
     engine: Option<EngineHandle>,
-    controller: Option<AdaptiveController>,
+    /// The adaptive controller, shared with the parallel runtime's
+    /// control-plane epoch driver (which fires it off the stream clock,
+    /// so source-fed deployments re-optimize without a single
+    /// coordinator-thread ingest). On the local runtime the ingest path
+    /// drives it, as before.
+    controller: Option<Arc<Mutex<AdaptiveController>>>,
     strategy: Strategy,
     last_report: Option<OptimizationReport>,
     last_epoch_seen: Epoch,
@@ -165,8 +179,8 @@ impl ClashSystem {
         let q = parse_query(&self.catalog, id, name, definition)?;
         self.next_query_id += 1;
         self.queries.push(q.clone());
-        if let Some(controller) = &mut self.controller {
-            controller.add_query(q);
+        if let Some(controller) = &self.controller {
+            lock_controller(controller).add_query(q);
         }
         Ok(id)
     }
@@ -182,8 +196,8 @@ impl ClashSystem {
         let q = build(builder)?.build()?;
         self.next_query_id += 1;
         self.queries.push(q.clone());
-        if let Some(controller) = &mut self.controller {
-            controller.add_query(q);
+        if let Some(controller) = &self.controller {
+            lock_controller(controller).add_query(q);
         }
         Ok(id)
     }
@@ -194,8 +208,8 @@ impl ClashSystem {
         self.next_query_id = self.next_query_id.max(id.0 + 1);
         self.queries.retain(|q| q.id != id);
         self.queries.push(query.clone());
-        if let Some(controller) = &mut self.controller {
-            controller.add_query(query);
+        if let Some(controller) = &self.controller {
+            lock_controller(controller).add_query(query);
         }
         Ok(id)
     }
@@ -204,8 +218,8 @@ impl ClashSystem {
     /// next re-optimization (reference counting, Section VI-B).
     pub fn remove_query(&mut self, id: QueryId) {
         self.queries.retain(|q| q.id != id);
-        if let Some(controller) = &mut self.controller {
-            controller.remove_query(id);
+        if let Some(controller) = &self.controller {
+            lock_controller(controller).remove_query(id);
         }
     }
 
@@ -246,15 +260,25 @@ impl ClashSystem {
         let report = planner.plan(&self.queries, strategy)?;
         let mut engine_config = self.config.engine;
         engine_config.collect_results = self.config.collect_results;
+        let controller = Arc::new(Mutex::new(controller));
         self.engine = Some(match self.config.runtime {
             RuntimeMode::Local => EngineHandle::Local(Box::new(LocalEngine::new(
                 self.catalog.clone(),
                 plan,
                 engine_config,
             ))),
-            RuntimeMode::Parallel(workers) => EngineHandle::Parallel(Box::new(
-                ParallelEngine::new(self.catalog.clone(), plan, engine_config, workers),
-            )),
+            RuntimeMode::Parallel(workers) => {
+                let mut engine =
+                    ParallelEngine::new(self.catalog.clone(), plan, engine_config, workers);
+                // Control-plane adaptivity: a background epoch driver
+                // watches the stream clock (advanced by coordinator
+                // ingests and source pushes alike) and fires the shared
+                // controller at every boundary — `open_source()`
+                // workloads get Fig. 8-style reconfiguration without a
+                // single coordinator-thread ingest.
+                engine.start_epoch_driver(controller.clone());
+                EngineHandle::Parallel(Box::new(engine))
+            }
         });
         self.controller = Some(controller);
         self.last_report = Some(report);
@@ -297,18 +321,12 @@ impl ClashSystem {
         let produced = engine.ingest(relation, tuple)?;
         if epoch > self.last_epoch_seen {
             self.last_epoch_seen = epoch;
-            if let Some(controller) = &mut self.controller {
-                match engine {
-                    EngineHandle::Local(e) => {
-                        controller.on_epoch(e.as_mut(), epoch)?;
-                    }
-                    EngineHandle::Parallel(e) => {
-                        // Epoch barrier: aggregate the workers' statistics
-                        // deltas before the controller evaluates them.
-                        e.flush();
-                        controller.on_epoch(e.as_mut(), epoch)?;
-                    }
-                }
+            // The local runtime is driven from the ingest path, as
+            // before. The parallel runtime's controller runs off the
+            // control-plane epoch driver instead (started at deploy), so
+            // coordinator ingests and source pushes share one cadence.
+            if let (Some(controller), EngineHandle::Local(e)) = (&self.controller, engine) {
+                lock_controller(controller).on_epoch(e.as_mut(), epoch)?;
             }
         }
         Ok(produced)
@@ -327,16 +345,32 @@ impl ClashSystem {
     /// Collected results (requires `collect_results` in the config). With
     /// the parallel runtime this reflects the state as of the last barrier
     /// (call [`Self::snapshot`] first to drain).
-    pub fn results(&self) -> &[(QueryId, Tuple)] {
-        self.engine.as_ref().map(|e| e.results()).unwrap_or(&[])
+    pub fn results(&self) -> Vec<(QueryId, Tuple)> {
+        self.engine
+            .as_ref()
+            .map(|e| e.results())
+            .unwrap_or_default()
     }
 
     /// Number of reconfigurations the adaptive controller has installed.
     pub fn reconfigurations(&self) -> usize {
         self.controller
             .as_ref()
-            .map(|c| c.reconfigurations)
+            .map(|c| lock_controller(c).reconfigurations)
             .unwrap_or(0)
+    }
+
+    /// The error that stopped the parallel runtime's control-plane epoch
+    /// driver, if any. `None` on the local runtime (the ingest path
+    /// propagates controller errors directly) and while the driver is
+    /// healthy. When this is `Some`, adaptivity has stopped: the stream
+    /// keeps flowing but no further reconfigurations will be installed —
+    /// check it when [`Self::reconfigurations`] stays flat unexpectedly.
+    pub fn adaptive_error(&self) -> Option<ClashError> {
+        match self.engine.as_ref() {
+            Some(EngineHandle::Parallel(e)) => e.epoch_driver_error(),
+            _ => None,
+        }
     }
 
     /// Opens a concurrent ingestion source on the deployed parallel
@@ -347,15 +381,12 @@ impl ClashSystem {
     /// aggregate at the next barrier ([`Self::snapshot`]).
     ///
     /// Fails when the system is not deployed or runs the single-threaded
-    /// local runtime (which has no concurrent ingest path). Two caveats
-    /// for adaptive deployments: the controller only runs on epoch
-    /// boundaries crossed by tuples ingested through [`Self::ingest`], so
-    /// a stream fed *exclusively* through sources is never re-optimized
-    /// (ROADMAP: adaptive control for source-driven streams); and when
-    /// the coordinator thread does ingest concurrently with open sources,
-    /// a controller-triggered plan install can drop source pushes racing
-    /// it — quiesce producers around epoch boundaries if the workload
-    /// re-plans.
+    /// local runtime (which has no concurrent ingest path). Adaptive
+    /// deployments work out of the box: the control-plane epoch driver
+    /// fires the controller off the stream clock the pushes advance, and
+    /// controller-triggered plan installs quiesce producers (racing
+    /// pushes block briefly at the install gate and then route against
+    /// the new plan — none is dropped).
     pub fn open_source(&mut self) -> Result<SourceHandle> {
         match self.engine.as_mut() {
             Some(EngineHandle::Parallel(e)) => Ok(e.open_source()),

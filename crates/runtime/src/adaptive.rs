@@ -45,6 +45,18 @@ pub struct AdaptiveController {
     prior: Statistics,
     config: AdaptiveConfig,
     last_planned_epoch: Option<Epoch>,
+    /// Epoch at which the last pending configuration was activated:
+    /// pending activation is idempotent per epoch. Today's scheduling
+    /// (`pending` is always set for `current_epoch.next()` and
+    /// `last_planned_epoch` dedupes same-epoch re-plans) cannot produce
+    /// a same-epoch double activation on its own; this guard pins that
+    /// invariant against timer-driven cadences where the same boundary
+    /// fires from more than one caller and epoch gaps are routine.
+    last_installed_epoch: Option<Epoch>,
+    /// Set by query registration/removal since the last re-planning; a
+    /// query-set change forces re-planning even for an epoch without
+    /// fresh statistics.
+    queries_dirty: bool,
     /// Configuration scheduled to become active at a future epoch.
     pending: Option<(Epoch, TopologyPlan)>,
     /// Number of reconfigurations actually installed.
@@ -68,6 +80,8 @@ impl AdaptiveController {
                 prior,
                 config,
                 last_planned_epoch: None,
+                last_installed_epoch: None,
+                queries_dirty: false,
                 pending: None,
                 reconfigurations: 0,
             },
@@ -85,12 +99,15 @@ impl AdaptiveController {
     pub fn add_query(&mut self, query: JoinQuery) {
         self.queries.retain(|q| q.id != query.id);
         self.queries.push(query);
+        self.queries_dirty = true;
     }
 
     /// Removes a query; stores only it used are dropped at the next
     /// reconfiguration.
     pub fn remove_query(&mut self, query: QueryId) {
+        let before = self.queries.len();
         self.queries.retain(|q| q.id != query);
+        self.queries_dirty |= self.queries.len() != before;
     }
 
     /// Called by the driver whenever stream time has advanced to
@@ -98,19 +115,35 @@ impl AdaptiveController {
     /// re-plans, and schedules / installs new configurations. Returns
     /// `true` when a new configuration was installed into the engine.
     /// Works on any engine exposing [`EngineControl`] — the sequential
-    /// `LocalEngine` or the sharded `ParallelEngine` (which must be
-    /// flushed by the driver before the call so the statistics are
-    /// current).
+    /// `LocalEngine` or the sharded runtime (whose control-plane epoch
+    /// driver flushes before the call so the statistics are current).
+    ///
+    /// Timer-driven cadences make two situations routine that the
+    /// ingest-driven cadence never produced, and both are handled here:
+    /// *skipped epochs* (a pending plan scheduled for epoch `e+1` may
+    /// only become due at some later epoch — it is installed exactly
+    /// once, `last_installed_epoch` making the activation idempotent per
+    /// epoch) and *empty epochs* (no arrivals were recorded — without
+    /// fresh observations re-planning would run on stale statistics and
+    /// could flap configurations, so it is skipped unless the query set
+    /// changed). An install failure ([`EngineControl::install_plan`]
+    /// errors) keeps the pending plan so a later epoch can retry, and
+    /// propagates the error.
     pub fn on_epoch<E: EngineControl>(
         &mut self,
         engine: &mut E,
         current_epoch: Epoch,
     ) -> Result<bool> {
-        // Install a configuration that has become due.
+        // Install a configuration that has become due (at most once per
+        // distinct epoch).
         let mut installed = false;
         if let Some((effective, plan)) = self.pending.take() {
-            if current_epoch >= effective {
-                engine.install_plan(plan);
+            if current_epoch >= effective && self.last_installed_epoch != Some(current_epoch) {
+                if let Err(e) = engine.install_plan(plan.clone()) {
+                    self.pending = Some((effective, plan));
+                    return Err(e);
+                }
+                self.last_installed_epoch = Some(current_epoch);
                 self.reconfigurations += 1;
                 installed = true;
             } else {
@@ -128,10 +161,17 @@ impl AdaptiveController {
             return Ok(installed);
         }
 
-        // Evaluate the statistics of the epoch that just finished.
-        let observed = engine
-            .stats_collector()
-            .snapshot(current_epoch.prev(), &self.prior);
+        // Evaluate the statistics of the epoch that just finished — but
+        // only when there are fresh observations (or the query set
+        // changed): epochs skipped over by a timer-driven cadence carry
+        // no samples, and re-planning on them would flap configurations.
+        let finished = current_epoch.prev();
+        if !self.queries_dirty && !engine.stats_collector().has_samples(finished) {
+            engine.stats_collector_mut().prune(finished);
+            return Ok(installed);
+        }
+        self.queries_dirty = false;
+        let observed = engine.stats_collector().snapshot(finished, &self.prior);
         self.prior = observed.clone();
         let planner = Planner::new(&self.catalog, &observed, self.config.planner);
         let report = planner.plan(&self.queries, self.config.strategy)?;
@@ -140,7 +180,7 @@ impl AdaptiveController {
         if report.plan != *engine.plan() {
             self.pending = Some((current_epoch.next(), report.plan));
         }
-        engine.stats_collector_mut().prune(current_epoch.prev());
+        engine.stats_collector_mut().prune(finished);
         Ok(installed)
     }
 
@@ -242,6 +282,89 @@ mod tests {
         }
         assert_eq!(controller.reconfigurations, 0);
         assert!(!controller.has_pending());
+    }
+
+    #[test]
+    fn skipped_epochs_install_pending_exactly_once() {
+        // Timer-driven cadences make epoch gaps routine: a pending plan
+        // scheduled for epoch 2 may only become due at epoch 5, and the
+        // same boundary can fire more than once. Exactly one install may
+        // happen, and the gap's empty epochs must not trigger a replan
+        // that re-schedules (and later re-installs) a flapping plan.
+        let (mut controller, mut engine, catalog) = controller_and_engine(true);
+        ingest_some(&mut engine, &catalog, 0, 60);
+        controller.on_epoch(&mut engine, Epoch(1)).unwrap();
+        controller.on_epoch(&mut engine, Epoch(2)).unwrap();
+        let base = controller.reconfigurations;
+        // A query-set change guarantees the next evaluation schedules a
+        // different plan (its query list differs).
+        let q2 = parse_query(&catalog, QueryId::new(1), "q2", "S(b), T(b)").unwrap();
+        controller.add_query(q2);
+        ingest_some(&mut engine, &catalog, 2_100, 30);
+        controller.on_epoch(&mut engine, Epoch(3)).unwrap();
+        assert!(controller.has_pending(), "query change must re-plan");
+        // Epochs 4..=5 skipped; the boundary at 6 fires twice.
+        let first = controller.on_epoch(&mut engine, Epoch(6)).unwrap();
+        assert!(first, "due pending plan installs at the first boundary");
+        assert_eq!(controller.reconfigurations, base + 1);
+        let second = controller.on_epoch(&mut engine, Epoch(6)).unwrap();
+        assert!(!second, "same boundary must not install twice");
+        assert_eq!(controller.reconfigurations, base + 1);
+        // Epoch 5 recorded no samples and the query set is unchanged, so
+        // the gap must not have scheduled another reconfiguration.
+        assert!(!controller.has_pending(), "empty epochs must not re-plan");
+        let third = controller.on_epoch(&mut engine, Epoch(7)).unwrap();
+        assert!(!third);
+        assert_eq!(controller.reconfigurations, base + 1);
+    }
+
+    #[test]
+    fn install_failure_keeps_pending_and_propagates() {
+        // An engine whose install path fails (dead worker / shut down)
+        // must not lose the pending plan: the next epoch retries.
+        struct FailingEngine {
+            inner: LocalEngine,
+            fail_installs: usize,
+        }
+        impl EngineControl for FailingEngine {
+            fn install_plan(&mut self, plan: clash_optimizer::TopologyPlan) -> Result<()> {
+                if self.fail_installs > 0 {
+                    self.fail_installs -= 1;
+                    return Err(clash_common::ClashError::Shutdown);
+                }
+                self.inner.install_plan(plan);
+                Ok(())
+            }
+            fn plan(&self) -> &clash_optimizer::TopologyPlan {
+                self.inner.plan()
+            }
+            fn stats_collector(&self) -> &crate::StatsCollector {
+                self.inner.stats_collector()
+            }
+            fn stats_collector_mut(&mut self) -> &mut crate::StatsCollector {
+                self.inner.stats_collector_mut()
+            }
+        }
+        let (mut controller, mut engine, catalog) = controller_and_engine(true);
+        ingest_some(&mut engine, &catalog, 0, 60);
+        controller.on_epoch(&mut engine, Epoch(1)).unwrap();
+        let q2 = parse_query(&catalog, QueryId::new(1), "q2", "S(b), T(b)").unwrap();
+        controller.add_query(q2);
+        ingest_some(&mut engine, &catalog, 1_100, 30);
+        controller.on_epoch(&mut engine, Epoch(2)).unwrap();
+        assert!(controller.has_pending(), "query change must re-plan");
+        let base = controller.reconfigurations;
+        let mut failing = FailingEngine {
+            inner: engine,
+            fail_installs: 1,
+        };
+        let err = controller.on_epoch(&mut failing, Epoch(3)).unwrap_err();
+        assert_eq!(err, clash_common::ClashError::Shutdown);
+        assert!(controller.has_pending(), "failed install keeps the plan");
+        assert_eq!(controller.reconfigurations, base);
+        let installed = controller.on_epoch(&mut failing, Epoch(4)).unwrap();
+        assert!(installed, "next epoch retries the kept pending plan");
+        assert_eq!(controller.reconfigurations, base + 1);
     }
 
     #[test]

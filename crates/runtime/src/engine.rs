@@ -54,6 +54,12 @@ pub struct EngineConfig {
     /// concurrent producers can overshoot the bound by at most one root
     /// each. `0` disables the bound.
     pub max_inflight_roots: usize,
+    /// Parallel runtime only: poll cadence of the control-plane epoch
+    /// driver (`ParallelEngine::start_epoch_driver`). Each tick is one
+    /// atomic read of the stream clock; the expensive work (collection
+    /// barrier + re-planning) only runs when the clock crossed an epoch
+    /// boundary. Clamped to `[100µs, 1s]`.
+    pub epoch_tick: std::time::Duration,
 }
 
 impl Default for EngineConfig {
@@ -65,6 +71,7 @@ impl Default for EngineConfig {
             micro_batch: 64,
             micro_batch_max_delay: std::time::Duration::from_millis(5),
             max_inflight_roots: 1 << 16,
+            epoch_tick: std::time::Duration::from_millis(1),
         }
     }
 }
@@ -73,14 +80,17 @@ impl Default for EngineConfig {
 pub type ResultSink = Box<dyn FnMut(QueryId, &Tuple) + Send>;
 
 /// The control surface the adaptive controller needs from an engine:
-/// swapping topology plans and reading the gathered statistics. Both the
-/// sequential [`LocalEngine`] and the sharded
-/// [`crate::parallel::ParallelEngine`] implement it, so epoch-based
+/// swapping topology plans and reading the gathered statistics. The
+/// sequential [`LocalEngine`] implements it directly; the sharded
+/// runtime implements it on its engine core, which both the owning
+/// thread and the control-plane epoch driver can lock — so epoch-based
 /// re-optimization (Section VI) works unchanged on either runtime.
 pub trait EngineControl {
     /// Installs (or replaces) the running plan, carrying over matching
-    /// store state.
-    fn install_plan(&mut self, plan: TopologyPlan);
+    /// store state. Errors instead of panicking when the runtime cannot
+    /// complete the reconfiguration (engine shut down, worker thread
+    /// dead); the controller keeps its pending plan in that case.
+    fn install_plan(&mut self, plan: TopologyPlan) -> Result<()>;
 
     /// The currently installed plan.
     fn plan(&self) -> &TopologyPlan;
@@ -432,8 +442,9 @@ impl LocalEngine {
 }
 
 impl EngineControl for LocalEngine {
-    fn install_plan(&mut self, plan: TopologyPlan) {
+    fn install_plan(&mut self, plan: TopologyPlan) -> Result<()> {
         LocalEngine::install_plan(self, plan);
+        Ok(())
     }
 
     fn plan(&self) -> &TopologyPlan {

@@ -10,7 +10,7 @@
 //! lock plus one uncontended lock per slot — the accepted cost of the
 //! liveness guarantee.
 
-use crate::ingest::source::SourceRegistry;
+use crate::ingest::shared::ControlShared;
 use crate::parallel::worker::WorkerMsg;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Sender;
@@ -26,10 +26,10 @@ pub(crate) struct Flusher {
 }
 
 impl Flusher {
-    /// Spawns the sweep thread over `sources`, flushing buffers older
-    /// than `max_delay` to `senders`.
+    /// Spawns the sweep thread over the registry in `shared`, flushing
+    /// buffers older than `max_delay` to `senders`.
     pub fn spawn(
-        sources: SourceRegistry,
+        shared: Arc<ControlShared>,
         senders: Vec<Sender<WorkerMsg>>,
         max_delay: StdDuration,
     ) -> Self {
@@ -44,8 +44,7 @@ impl Flusher {
             .spawn(move || {
                 while !stop_flag.load(Ordering::Acquire) {
                     std::thread::sleep(tick);
-                    let slots = sources.lock().expect("source registry").clone();
-                    for slot in slots {
+                    for slot in shared.slots() {
                         let mut inner = slot.inner.lock().expect("source slot");
                         if inner.buf.is_stale(max_delay) {
                             inner.buf.flush(&senders);

@@ -61,8 +61,24 @@
 //! order), which keeps the common in-order case on the fast probe-time
 //! path; the pending probers only pay for the actual races.
 
+//!
+//! # Plan installs under live ingestion: the quiesce protocol
+//!
+//! Plan installs are lossless under concurrent producers. The engine
+//! pauses the [`shared::QuiesceGate`] every push passes through (new
+//! pushes block, in-flight pushes finish routing), flushes every slot's
+//! residual old-plan batches, drains the workers to the completion
+//! watermark, installs the new plan on every worker and every slot, and
+//! resumes the gate. A racing push therefore either completes entirely
+//! under the old plan (and its results are collected before the switch)
+//! or blocks for the duration of the quiesce window and then routes
+//! against the new plan — it is never routed against a stale plan and
+//! never dropped by a worker that already switched. See
+//! `ParallelEngine::install_plan` and DESIGN.md.
+
 pub(crate) mod flusher;
+pub(crate) mod shared;
 mod source;
 
 pub use source::SourceHandle;
-pub(crate) use source::{SourceRegistry, SourceSlot};
+pub(crate) use source::SourceSlot;

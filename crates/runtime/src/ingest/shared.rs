@@ -1,0 +1,219 @@
+//! Control-plane state shared between the coordinator, every open
+//! [`crate::ingest::SourceHandle`], the time-trigger flusher and the
+//! epoch driver: the sequence allocator, the stream clock, the shutdown
+//! flag, the source registry and the [`QuiesceGate`] that makes plan
+//! installs lossless under concurrent producers.
+
+use crate::ingest::source::SourceSlot;
+use crate::parallel::router::Progress;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The two-phase admission gate of the quiesce protocol.
+///
+/// Producers wrap the routing section of every push in [`enter`] /
+/// [`GatePass`]-drop; the engine wraps a plan install in [`quiesce`] /
+/// [`Quiesced`]-drop. `pause` first closes the gate (new pushes block on
+/// the condvar instead of routing against a plan about to be replaced)
+/// and then waits until every push that already entered has finished
+/// routing and buffering its deliveries. At that point every allocated
+/// sequence number has its deliveries in some batch buffer, so the
+/// engine's flush + drain barrier covers them completely — no push can be
+/// routed against a stale plan and none can be dropped by a worker that
+/// already switched plans. `resume` (on [`Quiesced`] drop, so a panicking
+/// install cannot leave producers blocked forever) reopens the gate and
+/// wakes every blocked push, which then routes against the new plan.
+///
+/// Pausing blocks *new* entrants before waiting for active ones, so a
+/// continuous stream of producers cannot starve the quiescer; the wait is
+/// bounded by the in-flight pushes' routing work (no push holds the gate
+/// across a channel wait or the admission gate).
+///
+/// [`enter`]: QuiesceGate::enter
+/// [`quiesce`]: QuiesceGate::quiesce
+#[derive(Debug, Default)]
+pub(crate) struct QuiesceGate {
+    state: Mutex<GateState>,
+    /// Producers wait here while the gate is paused.
+    admit: Condvar,
+    /// The quiescer waits here for the active pushes to drain.
+    idle: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    paused: bool,
+    active: usize,
+}
+
+/// Proof that one push is inside the gate; dropping it releases the slot
+/// (and wakes a waiting quiescer once the last active push exits).
+#[derive(Debug)]
+pub(crate) struct GatePass<'a> {
+    gate: &'a QuiesceGate,
+}
+
+impl Drop for GatePass<'_> {
+    fn drop(&mut self) {
+        let mut state = self.gate.state.lock().expect("quiesce gate");
+        state.active -= 1;
+        if state.active == 0 {
+            self.gate.idle.notify_all();
+        }
+    }
+}
+
+/// Proof that the gate is paused and no push is mid-route; dropping it
+/// resumes admission.
+#[derive(Debug)]
+pub(crate) struct Quiesced<'a> {
+    gate: &'a QuiesceGate,
+}
+
+impl Drop for Quiesced<'_> {
+    fn drop(&mut self) {
+        let mut state = self.gate.state.lock().expect("quiesce gate");
+        state.paused = false;
+        drop(state);
+        self.gate.admit.notify_all();
+    }
+}
+
+impl QuiesceGate {
+    /// Enters the gate for one push, blocking while an install is in
+    /// progress.
+    pub fn enter(&self) -> GatePass<'_> {
+        let mut state = self.state.lock().expect("quiesce gate");
+        while state.paused {
+            state = self.admit.wait(state).expect("quiesce gate");
+        }
+        state.active += 1;
+        GatePass { gate: self }
+    }
+
+    /// Pauses admission and waits for every active push to exit. The
+    /// returned guard resumes admission on drop.
+    pub fn quiesce(&self) -> Quiesced<'_> {
+        let mut state = self.state.lock().expect("quiesce gate");
+        state.paused = true;
+        while state.active > 0 {
+            state = self.idle.wait(state).expect("quiesce gate");
+        }
+        Quiesced { gate: self }
+    }
+}
+
+/// Everything the ingestion endpoints and the background control-plane
+/// threads share with the engine, behind one `Arc`.
+#[derive(Debug)]
+pub(crate) struct ControlShared {
+    /// Next root sequence number to allocate (roots start at 1). One
+    /// shared allocator, so concurrent producers draw from a single
+    /// logical serial order.
+    pub next_seq: AtomicU64,
+    /// Maximum stream timestamp (millis) pushed through *any* producer.
+    /// The epoch driver derives the current epoch from this clock without
+    /// taking any lock.
+    pub stream_clock: AtomicU64,
+    /// Set by `ParallelEngine::shutdown` before the workers are joined;
+    /// ingestion endpoints then return [`clash_common::ClashError::Shutdown`]
+    /// instead of silently dropping tuples.
+    pub shutdown: AtomicBool,
+    /// The install-time producer gate (see [`QuiesceGate`]).
+    pub gate: QuiesceGate,
+    /// Global completion progress (watermark over fully processed roots).
+    pub progress: Arc<Progress>,
+    /// Every registered producer slot — the coordinator's own micro-batch
+    /// buffer plus one per open source — swept by the flusher and the
+    /// admission/drain loops.
+    pub sources: Mutex<Vec<Arc<SourceSlot>>>,
+}
+
+impl ControlShared {
+    /// Fresh state with an empty registry.
+    pub fn new() -> Self {
+        ControlShared {
+            next_seq: AtomicU64::new(1),
+            stream_clock: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            gate: QuiesceGate::default(),
+            progress: Arc::new(Progress::default()),
+            sources: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Folds a pushed timestamp into the stream clock.
+    pub fn advance_clock(&self, ts_millis: u64) {
+        self.stream_clock.fetch_max(ts_millis, Ordering::AcqRel);
+    }
+
+    /// Roots allocated so far (the realized length of the serial order).
+    pub fn sequenced(&self) -> u64 {
+        self.next_seq.load(Ordering::Acquire).saturating_sub(1)
+    }
+
+    /// Whether the engine has been shut down.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of the registered slots (registry lock held only for the
+    /// clone).
+    pub fn slots(&self) -> Vec<Arc<SourceSlot>> {
+        self.sources.lock().expect("source registry").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn quiesce_waits_for_active_pushes_and_blocks_new_ones() {
+        let gate = Arc::new(QuiesceGate::default());
+        let in_flight = Arc::new(AtomicUsize::new(0));
+
+        // An active push holding the gate.
+        let pass = gate.enter();
+        let g2 = gate.clone();
+        let quiescer = std::thread::spawn(move || {
+            let _q = g2.quiesce();
+            // While quiesced, no push may be active.
+        });
+        // The quiescer cannot finish while the pass is held.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!quiescer.is_finished(), "quiesce returned with active push");
+        drop(pass);
+        quiescer.join().expect("quiescer");
+
+        // A paused gate blocks new entrants until resumed.
+        let q = gate.quiesce();
+        let g3 = gate.clone();
+        let c3 = in_flight.clone();
+        let pusher = std::thread::spawn(move || {
+            let _pass = g3.enter();
+            c3.fetch_add(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(
+            in_flight.load(Ordering::SeqCst),
+            0,
+            "push passed a paused gate"
+        );
+        drop(q);
+        pusher.join().expect("pusher");
+        assert_eq!(in_flight.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn control_shared_clock_is_monotonic() {
+        let shared = ControlShared::new();
+        shared.advance_clock(50);
+        shared.advance_clock(20);
+        assert_eq!(shared.stream_clock.load(Ordering::Acquire), 50);
+        shared.advance_clock(80);
+        assert_eq!(shared.stream_clock.load(Ordering::Acquire), 80);
+    }
+}

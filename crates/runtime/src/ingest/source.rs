@@ -1,14 +1,15 @@
 //! The producer-side ingestion API: [`SourceHandle`] and the per-source
 //! slot state the engine and the time-trigger flusher cooperate on.
 
+use crate::ingest::shared::ControlShared;
 use crate::metrics::EngineMetrics;
-use crate::parallel::router::{route_root, BatchBuffer, Progress, RootHandle};
+use crate::parallel::router::{route_root, BatchBuffer, RootHandle};
 use crate::parallel::worker::WorkerMsg;
 use crate::stats_collector::StatsCollector;
 use clash_catalog::Catalog;
 use clash_common::{ClashError, EpochConfig, RelationId, Result, Timestamp, Tuple};
 use clash_optimizer::TopologyPlan;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration as StdDuration, Instant};
@@ -20,7 +21,8 @@ use std::time::{Duration as StdDuration, Instant};
 /// or flusher sweep of their own slot.
 #[derive(Debug)]
 pub(crate) struct SourceInner {
-    /// The plan this source routes against (swapped on `install_plan`).
+    /// The plan this source routes against (swapped under the quiesce
+    /// gate on `install_plan`).
     pub plan: Arc<TopologyPlan>,
     /// Locally micro-batched deliveries awaiting shipment.
     pub buf: BatchBuffer,
@@ -69,10 +71,6 @@ impl SourceSlot {
     }
 }
 
-/// The registry the engine and the flusher thread share: every open (or
-/// not yet drained) source slot.
-pub(crate) type SourceRegistry = Arc<Mutex<Vec<Arc<SourceSlot>>>>;
-
 /// A concurrent ingestion endpoint of a
 /// [`crate::parallel::ParallelEngine`], obtained from
 /// `ParallelEngine::open_source` and movable to a producer thread.
@@ -84,18 +82,21 @@ pub(crate) type SourceRegistry = Arc<Mutex<Vec<Arc<SourceSlot>>>>;
 /// concurrently; the result multiset stays exactly that of sequential
 /// execution (see [`crate::ingest`]).
 ///
-/// Pushes after the engine has shut down are silently dropped; barrier
-/// operations on the engine (`flush`, `snapshot`, `install_plan`)
-/// guarantee coverage only of pushes that happened-before the call.
+/// Pushes racing a plan install block briefly on the engine's quiesce
+/// gate and then route against the freshly installed plan — none is ever
+/// dropped. Pushes after the engine has shut down return
+/// [`ClashError::Shutdown`]; barrier operations on the engine (`flush`,
+/// `snapshot`, `install_plan`) guarantee coverage of every push that
+/// happened-before the call.
 #[derive(Debug)]
 pub struct SourceHandle {
     slot: Arc<SourceSlot>,
-    /// Every registered slot (for the backpressure sweep: any source's
-    /// buffered roots can be what the watermark is stuck on).
-    sources: SourceRegistry,
+    /// The engine's shared control-plane state: sequence allocator,
+    /// stream clock, quiesce gate, shutdown flag and the registry of
+    /// every slot (for the backpressure sweep: any source's buffered
+    /// roots can be what the watermark is stuck on).
+    shared: Arc<ControlShared>,
     senders: Vec<Sender<WorkerMsg>>,
-    next_seq: Arc<AtomicU64>,
-    progress: Arc<Progress>,
     catalog: Arc<Catalog>,
     epoch: EpochConfig,
     /// In-flight-roots bound (0 = unbounded).
@@ -106,13 +107,10 @@ pub struct SourceHandle {
 
 impl SourceHandle {
     /// Wires a handle to its slot (engine-internal).
-    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         slot: Arc<SourceSlot>,
-        sources: SourceRegistry,
+        shared: Arc<ControlShared>,
         senders: Vec<Sender<WorkerMsg>>,
-        next_seq: Arc<AtomicU64>,
-        progress: Arc<Progress>,
         catalog: Arc<Catalog>,
         epoch: EpochConfig,
         capacity: usize,
@@ -120,10 +118,8 @@ impl SourceHandle {
     ) -> Self {
         SourceHandle {
             slot,
-            sources,
+            shared,
             senders,
-            next_seq,
-            progress,
             catalog,
             epoch,
             capacity,
@@ -139,31 +135,44 @@ impl SourceHandle {
     /// Returns the root's allocated sequence number: the tuple's position
     /// in the engine's realized serial order. The engine's results are
     /// exactly those of `LocalEngine` ingesting all pushed tuples in
-    /// sequence-number order, so recording the returned values makes the
-    /// linearization observable (see [`crate::ingest`]).
+    /// sequence-number order (installing the same plans at the same
+    /// positions of that order), so recording the returned values makes
+    /// the linearization observable (see [`crate::ingest`]).
     ///
     /// Blocks while the engine's in-flight-roots bound is reached
-    /// (backpressure); returns an error for unknown relations or when the
-    /// backpressure gate stalls because the engine died underneath the
-    /// handle.
+    /// (backpressure) or while a plan install is quiescing producers;
+    /// returns an error for unknown relations, after the engine has shut
+    /// down ([`ClashError::Shutdown`]), or when the backpressure gate
+    /// stalls because the engine died underneath the handle.
     pub fn push(&mut self, relation: RelationId, tuple: Tuple) -> Result<u64> {
         if self.catalog.relation(relation).is_err() {
             return Err(ClashError::unknown(format!("relation {relation}")));
         }
         self.wait_admission()?;
+        // The quiesce gate: held across sequence allocation, routing and
+        // buffering, so a plan install either happens-before this push
+        // (which then routes against the new plan) or waits for it (the
+        // install's drain barrier then covers its deliveries). Entered
+        // after the admission gate — a push blocked on backpressure must
+        // not stall an install.
+        let _pass = self.shared.gate.enter();
+        if self.shared.is_shutdown() {
+            return Err(ClashError::Shutdown);
+        }
         let started = Instant::now();
         let mut inner = self.slot.inner.lock().expect("source slot");
         let inner = &mut *inner;
         inner.metrics.tuples_ingested += 1;
         inner.max_ts = inner.max_ts.max(tuple.ts);
+        self.shared.advance_clock(tuple.ts.as_millis());
         let epoch = self.epoch.epoch_of(tuple.ts);
         inner.stats.record_arrival(epoch, relation);
 
         // Sequence allocation happens under the slot lock, so a barrier
         // that flushed this slot has shipped every seq allocated before it
         // acquired the lock (its drain loop re-flushes for stragglers).
-        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
-        let root = RootHandle::new(seq, self.progress.clone());
+        let seq = self.shared.next_seq.fetch_add(1, Ordering::SeqCst);
+        let root = RootHandle::new(seq, self.shared.progress.clone());
         let plan = Arc::clone(&inner.plan);
         route_root(
             &plan,
@@ -192,26 +201,35 @@ impl SourceHandle {
     /// compares allocated sequence numbers against the completion
     /// watermark, so it bounds memory across *all* producers combined.
     fn wait_admission(&self) -> Result<()> {
+        if self.shared.is_shutdown() {
+            return Err(ClashError::Shutdown);
+        }
         if self.capacity == 0 {
             return Ok(());
         }
         let stalled_after = StdDuration::from_secs(30);
         let started = Instant::now();
         loop {
-            let allocated = self.next_seq.load(Ordering::Acquire).saturating_sub(1);
-            let inflight = allocated.saturating_sub(self.progress.watermark());
+            let inflight = self
+                .shared
+                .sequenced()
+                .saturating_sub(self.shared.progress.watermark());
             if (inflight as usize) < self.capacity {
                 return Ok(());
+            }
+            if self.shared.is_shutdown() {
+                return Err(ClashError::Shutdown);
             }
             // Any registered source's buffered deliveries (ours included)
             // can be what the watermark is stuck on, and other producers
             // keep admitting and buffering while we wait — sweep every
             // iteration (cheap when the buffers are empty).
-            let slots = self.sources.lock().expect("source registry").clone();
-            for slot in slots {
+            for slot in self.shared.slots() {
                 slot.flush_to(&self.senders);
             }
-            self.progress.wait_for_change(StdDuration::from_millis(1));
+            self.shared
+                .progress
+                .wait_for_change(StdDuration::from_millis(1));
             if started.elapsed() >= stalled_after {
                 return Err(ClashError::Runtime(
                     "source backpressure stalled for 30s: workers are not draining \

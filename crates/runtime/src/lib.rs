@@ -23,7 +23,10 @@
 //!   parallel engine: N producer threads push straight to the worker
 //!   shards through per-source micro-batching routers with bounded
 //!   in-flight backpressure, while results stream to subscribers between
-//!   barriers (see [`ingest`]),
+//!   barriers; plan installs quiesce producers (no push is ever dropped
+//!   by a reconfiguration) and a control-plane epoch driver re-optimizes
+//!   source-fed streams off the stream clock (see [`ingest`] and
+//!   [`parallel`]),
 //! * [`StatsCollector`] — per-epoch sampling of arrival rates and
 //!   predicate selectivities (the "statistics gathering" of Fig. 5),
 //! * [`AdaptiveController`] — epoch-based re-optimization: statistics from

@@ -1,24 +1,37 @@
 //! The [`ParallelEngine`] coordinator: ingests tuples, routes them to the
 //! worker threads, runs drain/collection barriers at epoch boundaries and
 //! aggregates per-worker metrics and statistics deltas.
+//!
+//! The engine is split in two layers: [`EngineCore`] owns every piece of
+//! coordinator state (plan, worker channels, aggregates) behind one
+//! mutex, and [`ParallelEngine`] is the public façade over it. The split
+//! exists so that *two* threads can act as the control plane: the thread
+//! owning the `ParallelEngine` handle, and the background
+//! [`crate::parallel::driver::EpochDriver`] that fires the adaptive
+//! controller off the stream clock for source-fed deployments (where the
+//! owning thread may never call `ingest` at all). Producer pushes through
+//! [`SourceHandle`]s never touch the core lock — they only pass the
+//! quiesce gate and their own slot lock — so ingestion scales
+//! independently of control-plane activity.
 
+use crate::adaptive::AdaptiveController;
 use crate::engine::{EngineConfig, EngineControl, ResultSink};
 use crate::ingest::flusher::Flusher;
-use crate::ingest::{SourceHandle, SourceRegistry, SourceSlot};
+use crate::ingest::shared::ControlShared;
+use crate::ingest::{SourceHandle, SourceSlot};
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
-use crate::parallel::router::{
-    route_root, symmetric_stores, symmetric_stores_multi, Progress, RootHandle,
-};
+use crate::parallel::driver::EpochDriver;
+use crate::parallel::router::{route_root, symmetric_stores, symmetric_stores_multi, RootHandle};
 use crate::parallel::shard::StoreLayout;
 use crate::parallel::worker::{run_worker, WorkerAck, WorkerCtx, WorkerMsg};
 use crate::stats_collector::StatsCollector;
-use clash_catalog::Catalog;
-use clash_common::{ClashError, EpochConfig, QueryId, Result, StoreId, Timestamp, Tuple};
+use clash_catalog::{Catalog, Statistics};
+use clash_common::{ClashError, Epoch, EpochConfig, QueryId, Result, StoreId, Timestamp, Tuple};
 use clash_optimizer::TopologyPlan;
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration as StdDuration, Instant};
 
@@ -38,8 +51,30 @@ use std::time::{Duration as StdDuration, Instant};
 ///
 /// Result-set equivalence with `LocalEngine` on identical input is
 /// maintained by the sequence-number probe guard and the symmetric
-/// pending-prober mechanism documented in [`crate::parallel`].
+/// pending-prober mechanism documented in [`crate::parallel`]; plan
+/// installs are lossless under concurrent producers via the quiesce
+/// protocol documented in [`crate::ingest`].
 pub struct ParallelEngine {
+    shared: Arc<ControlShared>,
+    senders: Vec<Sender<WorkerMsg>>,
+    config: EngineConfig,
+    workers: usize,
+    core: Arc<Mutex<EngineCore>>,
+    /// Background time-trigger flusher sweeping all registered slots.
+    flusher: Option<Flusher>,
+    /// Background control-plane thread firing the adaptive controller at
+    /// epoch boundaries of the stream clock (see
+    /// [`Self::start_epoch_driver`]).
+    driver: Option<EpochDriver>,
+    /// Error of an already-stopped driver, kept so
+    /// [`Self::epoch_driver_error`] still answers after shutdown or a
+    /// driver replacement (post-mortem inspection).
+    driver_error: Option<ClashError>,
+}
+
+/// All coordinator state, owned by whichever control-plane thread holds
+/// the lock (the engine handle's owner or the epoch driver).
+pub(crate) struct EngineCore {
     catalog: Arc<Catalog>,
     config: EngineConfig,
     workers: usize,
@@ -47,24 +82,14 @@ pub struct ParallelEngine {
     symmetric: Arc<HashSet<StoreId>>,
     senders: Vec<Sender<WorkerMsg>>,
     ack_rx: Receiver<WorkerAck>,
-    progress: Arc<Progress>,
     handles: Vec<JoinHandle<()>>,
-    /// Next root sequence number to allocate (roots start at 1). Shared
-    /// with every open [`SourceHandle`], so concurrent producers draw
-    /// from one logical serial order.
-    next_seq: Arc<AtomicU64>,
-    /// Every registered producer slot — the coordinator's own micro-batch
-    /// buffer ([`Self::coord_buf`]) plus one per open source — shared with
-    /// the time-trigger flusher and the backpressure sweeps.
-    sources: SourceRegistry,
+    shared: Arc<ControlShared>,
     /// Sources handed out so far (drives the multi-producer widening).
     sources_opened: usize,
     /// Whether the widened multi-producer symmetric set is installed.
     multi_symmetric: bool,
-    /// Background time-trigger flusher sweeping all registered slots.
-    flusher: Option<Flusher>,
     /// The coordinator's own producer slot: micro-batch buffer coalescing
-    /// per-ingest sends across ingests. Registered in [`Self::sources`]
+    /// per-ingest sends across ingests. Registered in the shared registry
     /// so the flusher and admission sweeps cover it like any source's.
     coord_buf: Arc<SourceSlot>,
     metrics: EngineMetrics,
@@ -86,8 +111,7 @@ impl std::fmt::Debug for ParallelEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ParallelEngine")
             .field("workers", &self.workers)
-            .field("stores", &self.plan.num_stores())
-            .field("ingested", &self.metrics.tuples_ingested)
+            .field("adaptive", &self.driver.is_some())
             .finish()
     }
 }
@@ -105,7 +129,7 @@ impl ParallelEngine {
         let plan = Arc::new(plan);
         let layout = Arc::new(StoreLayout::derive(&catalog, &plan));
         let symmetric = Arc::new(symmetric_stores(&plan));
-        let progress = Arc::new(Progress::default());
+        let shared = Arc::new(ControlShared::new());
         let (ack_tx, ack_rx) = channel();
         let mut senders = Vec::with_capacity(workers);
         let mut receivers = Vec::with_capacity(workers);
@@ -122,7 +146,7 @@ impl ParallelEngine {
                 workers,
                 senders: senders.clone(),
                 ack_tx: ack_tx.clone(),
-                progress: progress.clone(),
+                progress: shared.progress.clone(),
                 symmetric: symmetric.clone(),
                 epoch: config.epoch,
                 plan: plan.clone(),
@@ -141,32 +165,33 @@ impl ParallelEngine {
             config.micro_batch,
             config.epoch,
         ));
-        let sources: SourceRegistry = Arc::new(Mutex::new(vec![coord_buf.clone()]));
+        shared
+            .sources
+            .lock()
+            .expect("source registry")
+            .push(coord_buf.clone());
         // The flusher runs whenever the time trigger is enabled, so even
         // a fully idle producer (the coordinator included) cannot strand
         // buffered deliveries past `micro_batch_max_delay`.
         let flusher = (config.micro_batch_max_delay > StdDuration::ZERO).then(|| {
             Flusher::spawn(
-                sources.clone(),
+                shared.clone(),
                 senders.clone(),
                 config.micro_batch_max_delay,
             )
         });
-        ParallelEngine {
+        let core = EngineCore {
             catalog: Arc::new(catalog),
             config,
             workers,
             plan,
             symmetric,
-            senders,
+            senders: senders.clone(),
             ack_rx,
-            progress,
             handles,
-            next_seq: Arc::new(AtomicU64::new(1)),
-            sources,
+            shared: shared.clone(),
             sources_opened: 0,
             multi_symmetric: false,
-            flusher,
             coord_buf,
             metrics: EngineMetrics::default(),
             stats: StatsCollector::new(config.epoch.length),
@@ -180,7 +205,24 @@ impl ParallelEngine {
             worker_busy: vec![StdDuration::ZERO; workers],
             active_since: None,
             wall_busy: StdDuration::ZERO,
+        };
+        ParallelEngine {
+            shared,
+            senders,
+            config,
+            workers,
+            core: Arc::new(Mutex::new(core)),
+            flusher,
+            driver: None,
+            driver_error: None,
         }
+    }
+
+    /// Locks the core for one control-plane operation. Poison recovery:
+    /// the core's state stays usable after a panicking barrier (the
+    /// shutdown path must still be able to join the workers).
+    fn core(&self) -> std::sync::MutexGuard<'_, EngineCore> {
+        self.core.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Number of worker threads.
@@ -196,12 +238,7 @@ impl ParallelEngine {
     /// Registers a sink invoked (at barriers) for every emitted result.
     /// Must be called before streaming for complete coverage.
     pub fn set_sink(&mut self, sink: ResultSink) {
-        self.sink = Some(sink);
-        self.forward_results = true;
-        self.coord_buf.flush_to(&self.senders);
-        for s in &self.senders {
-            let _ = s.send(WorkerMsg::ForwardResults(true));
-        }
+        self.core().set_sink(sink);
     }
 
     /// Opens a concurrent ingestion source: the returned [`SourceHandle`]
@@ -211,34 +248,7 @@ impl ParallelEngine {
     /// symmetric set (see [`crate::ingest`]); with a single source the
     /// delivery order stays serial and the narrow set suffices.
     pub fn open_source(&mut self) -> SourceHandle {
-        // Everything the coordinator ingested so far must be enqueued
-        // before the new source's first push can be.
-        self.coord_buf.flush_to(&self.senders);
-        if self.sources_opened >= 1 {
-            self.widen_symmetric();
-        }
-        self.sources_opened += 1;
-        let slot = Arc::new(SourceSlot::new(
-            self.plan.clone(),
-            self.workers,
-            self.config.micro_batch,
-            self.config.epoch,
-        ));
-        self.sources
-            .lock()
-            .expect("source registry")
-            .push(slot.clone());
-        SourceHandle::new(
-            slot,
-            self.sources.clone(),
-            self.senders.clone(),
-            self.next_seq.clone(),
-            self.progress.clone(),
-            self.catalog.clone(),
-            self.config.epoch,
-            self.config.max_inflight_roots,
-            self.config.micro_batch_max_delay,
-        )
+        self.core().open_source()
     }
 
     /// Subscribes to the result stream: every join result emitted from
@@ -254,26 +264,267 @@ impl ParallelEngine {
     /// subscriber must keep pace with the *output* it asked for (join
     /// amplification means one admitted root can emit many results).
     pub fn subscribe(&mut self) -> Receiver<(QueryId, Tuple)> {
-        let (tx, rx) = channel();
-        self.coord_buf.flush_to(&self.senders);
-        for s in &self.senders {
-            let _ = s.send(WorkerMsg::Subscribe(tx.clone()));
-        }
-        rx
+        self.core().subscribe()
     }
 
     /// Number of ingestion sources opened over the engine's lifetime
     /// (dropped handles included).
     pub fn sources_open(&self) -> usize {
-        self.sources_opened
+        self.core().sources_opened
     }
 
     /// Roots currently in flight: allocated sequence numbers not yet
     /// covered by the completion watermark (what the
     /// `max_inflight_roots` backpressure gate bounds).
     pub fn inflight(&self) -> u64 {
-        let allocated = self.next_seq.load(Ordering::Acquire).saturating_sub(1);
-        allocated.saturating_sub(self.progress.watermark())
+        self.shared
+            .sequenced()
+            .saturating_sub(self.shared.progress.watermark())
+    }
+
+    /// Roots sequenced so far: the realized length of the engine's serial
+    /// order (every `ingest` and every `SourceHandle::push` allocated one
+    /// position).
+    pub fn sequenced(&self) -> u64 {
+        self.shared.sequenced()
+    }
+
+    /// Ingests one input tuple, routing it to the owning shards. Join
+    /// results materialize asynchronously on the workers; they are counted
+    /// and collected at the next barrier ([`Self::flush`] /
+    /// [`Self::snapshot`]), so this always returns 0 pending results.
+    pub fn ingest(&mut self, relation: clash_common::RelationId, tuple: Tuple) -> Result<u64> {
+        self.core().ingest(relation, tuple)
+    }
+
+    /// Drains all in-flight work and merges every worker's deltas: the
+    /// epoch barrier. After `flush` the coordinator's metrics, statistics
+    /// and collected results reflect everything ingested so far. Panics
+    /// with a diagnostic if a worker thread died.
+    pub fn flush(&mut self) {
+        self.core().flush();
+    }
+
+    /// Expires out-of-window tuples from every shard (drains first so the
+    /// count is deterministic).
+    pub fn expire_stores(&mut self) -> usize {
+        self.core().expire_stores()
+    }
+
+    /// Installs (or replaces) the plan via the quiesce protocol (see
+    /// [`crate::ingest`]): producer admission is paused, residual
+    /// old-plan batches are flushed, the workers drain to the completion
+    /// barrier, the new plan is installed on every worker and every
+    /// source slot, and producers resume against it. Racing pushes block
+    /// briefly at the quiesce gate instead of being dropped. Shard state
+    /// with matching descriptor keys is carried over, mirroring the
+    /// sequential engine's rewiring (Section VI-A/B).
+    ///
+    /// Returns the install position: the number of roots sequenced before
+    /// the new plan took effect. Every root at or below it was fully
+    /// processed under the old plan; every later root routes against the
+    /// new plan — replaying the realized order through `LocalEngine` with
+    /// the same plans installed at the same positions reproduces the
+    /// result multiset exactly. Errors (instead of panicking mid-install)
+    /// when the engine has shut down or a worker thread died; after a
+    /// worker-death error the engine should be shut down.
+    pub fn install_plan(&mut self, plan: TopologyPlan) -> Result<u64> {
+        self.core().install_plan(plan)
+    }
+
+    /// The currently installed plan.
+    pub fn plan(&self) -> Arc<TopologyPlan> {
+        self.core().plan.clone()
+    }
+
+    /// Statistics snapshot for one epoch from the merged per-worker
+    /// observations (what the adaptive controller consumes at barriers).
+    pub fn stats_snapshot(&self, epoch: Epoch, prior: &Statistics) -> Statistics {
+        self.core().stats.snapshot(epoch, prior)
+    }
+
+    /// Results collected up to the last barrier (requires
+    /// `collect_results`). Order across workers is nondeterministic; sort
+    /// before comparing.
+    pub fn results(&self) -> Vec<(QueryId, Tuple)> {
+        self.core().results.clone()
+    }
+
+    /// Clears collected results (between experiment phases).
+    pub fn clear_results(&mut self) {
+        self.core().results.clear();
+    }
+
+    /// Total tuples held across all shards (as of the last barrier).
+    pub fn store_tuples(&self) -> usize {
+        self.core().store_tuples()
+    }
+
+    /// Total bytes held across all shards (as of the last barrier).
+    pub fn store_bytes(&self) -> usize {
+        self.core().store_bytes()
+    }
+
+    /// Per-worker processing time accumulated so far (as of the last
+    /// barrier). Shows how evenly the shards split the work — on a
+    /// multi-core machine the wall-clock win tracks this distribution.
+    pub fn worker_busy(&self) -> Vec<StdDuration> {
+        self.core().worker_busy.clone()
+    }
+
+    /// Runs a full barrier and returns the aggregated metrics snapshot.
+    /// `busy_secs` (and thus `throughput_tps`) is wall-clock time between
+    /// the first ingest and the end of the drain — the end-to-end rate an
+    /// external observer sees, which is the fair comparison against the
+    /// sequential engine's processing time.
+    pub fn snapshot(&mut self) -> MetricsSnapshot {
+        self.core().snapshot()
+    }
+
+    /// Resets metrics and collected results without touching shard state.
+    pub fn reset_metrics(&mut self) {
+        self.core().reset_metrics();
+    }
+
+    /// Starts the control-plane epoch driver: a background thread that
+    /// watches the stream clock (advanced by every `ingest` and every
+    /// `SourceHandle::push`) and, at each epoch boundary, runs a
+    /// collection barrier and fires `controller.on_epoch` — so adaptive
+    /// re-optimization works for source-fed deployments with zero
+    /// coordinator-thread ingests (Fig. 5/8). The controller is shared:
+    /// the caller keeps its handle for query registration and
+    /// reconfiguration counts. A second call replaces the previous
+    /// driver. The driver stops at engine shutdown, or on the first
+    /// engine error (worker death), recording it for
+    /// [`Self::epoch_driver_error`].
+    pub fn start_epoch_driver(&mut self, controller: Arc<Mutex<AdaptiveController>>) {
+        if let Some(mut old) = self.driver.take() {
+            old.stop();
+            self.driver_error = self.driver_error.take().or_else(|| old.error());
+        }
+        self.driver = Some(EpochDriver::spawn(
+            self.core.clone(),
+            self.shared.clone(),
+            controller,
+            self.config.epoch,
+            self.config.epoch_tick,
+        ));
+    }
+
+    /// The error that stopped the epoch driver, if any. Answers both for
+    /// the running driver and post-shutdown (the error outlives the
+    /// driver thread, so reconfiguration failures stay diagnosable).
+    pub fn epoch_driver_error(&self) -> Option<ClashError> {
+        self.driver
+            .as_ref()
+            .and_then(|d| d.error())
+            .or_else(|| self.driver_error.clone())
+    }
+
+    /// Drains all in-flight work (delivering outstanding results to the
+    /// sink and the collected-results buffer), then stops and joins the
+    /// epoch driver, every worker thread and the flusher. Called
+    /// automatically on drop, so results produced after the last explicit
+    /// barrier are not lost; calling it explicitly makes the final
+    /// collection observable before the engine goes away. Idempotent; the
+    /// engine is inert afterwards (barriers no-op, `ingest` and source
+    /// pushes return [`ClashError::Shutdown`]).
+    pub fn shutdown(&mut self) {
+        // The driver may be mid-tick holding the core lock: stop it
+        // before taking the lock ourselves (keeping any recorded error
+        // for post-mortem inspection).
+        if let Some(mut driver) = self.driver.take() {
+            driver.stop();
+            self.driver_error = self.driver_error.take().or_else(|| driver.error());
+        }
+        self.core().shutdown();
+        if let Some(mut flusher) = self.flusher.take() {
+            flusher.stop();
+        }
+    }
+}
+
+impl Drop for ParallelEngine {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // Unwinding: skip the drain (it could panic again and abort);
+            // just stop the threads.
+            self.shared
+                .shutdown
+                .store(true, std::sync::atomic::Ordering::Release);
+            if let Some(mut driver) = self.driver.take() {
+                driver.stop();
+            }
+            self.core().coord_buf.flush_to(&self.senders);
+            for s in &self.senders {
+                let _ = s.send(WorkerMsg::Shutdown);
+            }
+            for handle in self.core().handles.drain(..) {
+                let _ = handle.join();
+            }
+            if let Some(mut flusher) = self.flusher.take() {
+                flusher.stop();
+            }
+            return;
+        }
+        // Drain in-flight batches first so results produced after the
+        // last explicit barrier still reach the sink / results buffer.
+        self.shutdown();
+    }
+}
+
+impl EngineCore {
+    /// Whether the engine has been shut down (workers joined).
+    pub(crate) fn is_shutdown(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    fn set_sink(&mut self, sink: ResultSink) {
+        self.sink = Some(sink);
+        self.forward_results = true;
+        self.coord_buf.flush_to(&self.senders);
+        for s in &self.senders {
+            let _ = s.send(WorkerMsg::ForwardResults(true));
+        }
+    }
+
+    fn open_source(&mut self) -> SourceHandle {
+        // Everything the coordinator ingested so far must be enqueued
+        // before the new source's first push can be.
+        self.coord_buf.flush_to(&self.senders);
+        if self.sources_opened >= 1 {
+            self.widen_symmetric();
+        }
+        self.sources_opened += 1;
+        let slot = Arc::new(SourceSlot::new(
+            self.plan.clone(),
+            self.workers,
+            self.config.micro_batch,
+            self.config.epoch,
+        ));
+        self.shared
+            .sources
+            .lock()
+            .expect("source registry")
+            .push(slot.clone());
+        SourceHandle::new(
+            slot,
+            self.shared.clone(),
+            self.senders.clone(),
+            self.catalog.clone(),
+            self.config.epoch,
+            self.config.max_inflight_roots,
+            self.config.micro_batch_max_delay,
+        )
+    }
+
+    fn subscribe(&mut self) -> Receiver<(QueryId, Tuple)> {
+        let (tx, rx) = channel();
+        self.coord_buf.flush_to(&self.senders);
+        for s in &self.senders {
+            let _ = s.send(WorkerMsg::Subscribe(tx.clone()));
+        }
+        rx
     }
 
     /// Installs the widened multi-producer symmetric set on every worker.
@@ -301,8 +552,11 @@ impl ParallelEngine {
         }
         let mut since_liveness_check = Instant::now();
         loop {
-            let allocated = self.next_seq.load(Ordering::Acquire).saturating_sub(1);
-            if (allocated.saturating_sub(self.progress.watermark()) as usize) < cap {
+            let inflight = self
+                .shared
+                .sequenced()
+                .saturating_sub(self.shared.progress.watermark());
+            if (inflight as usize) < cap {
                 return;
             }
             // Any registered slot's buffered deliveries (our own
@@ -311,29 +565,25 @@ impl ParallelEngine {
             // every iteration (cheap when the buffers are empty), exactly
             // like the drain barrier's straggler sweep.
             self.flush_sources();
-            self.progress.wait_for_change(StdDuration::from_millis(1));
+            self.shared
+                .progress
+                .wait_for_change(StdDuration::from_millis(1));
             if since_liveness_check.elapsed() >= StdDuration::from_secs(1) {
                 since_liveness_check = Instant::now();
                 if let Some(dead) = self.handles.iter().position(|h| h.is_finished()) {
                     panic!(
                         "parallel engine backpressure stalled: worker {dead} died \
                          (watermark {})",
-                        self.progress.watermark()
+                        self.shared.progress.watermark()
                     );
                 }
             }
         }
     }
 
-    /// Ingests one input tuple, routing it to the owning shards. Join
-    /// results materialize asynchronously on the workers; they are counted
-    /// and collected at the next barrier ([`Self::flush`] /
-    /// [`Self::snapshot`]), so this always returns 0 pending results.
-    pub fn ingest(&mut self, relation: clash_common::RelationId, tuple: Tuple) -> Result<u64> {
+    fn ingest(&mut self, relation: clash_common::RelationId, tuple: Tuple) -> Result<u64> {
         if self.handles.is_empty() {
-            return Err(ClashError::Runtime(
-                "parallel engine has been shut down".into(),
-            ));
+            return Err(ClashError::Shutdown);
         }
         if self.catalog.relation(relation).is_err() {
             return Err(ClashError::unknown(format!("relation {relation}")));
@@ -351,11 +601,12 @@ impl ParallelEngine {
         let started = Instant::now();
         self.metrics.tuples_ingested += 1;
         self.max_ts = self.max_ts.max(tuple.ts);
+        self.shared.advance_clock(tuple.ts.as_millis());
         let epoch = self.config.epoch.epoch_of(tuple.ts);
         self.stats.record_arrival(epoch, relation);
 
-        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
-        let root = RootHandle::new(seq, self.progress.clone());
+        let seq = self.shared.next_seq.fetch_add(1, Ordering::SeqCst);
+        let root = RootHandle::new(seq, self.shared.progress.clone());
         {
             let mut inner = self.coord_buf.inner.lock().expect("coordinator buffer");
             route_root(
@@ -397,8 +648,7 @@ impl ParallelEngine {
     /// open source (barrier prelude; re-run inside drain loops so a push
     /// that raced the first pass still ships).
     fn flush_sources(&self) {
-        let slots = self.sources.lock().expect("source registry").clone();
-        for slot in slots {
+        for slot in self.shared.slots() {
             slot.flush_to(&self.senders);
         }
     }
@@ -407,7 +657,7 @@ impl ParallelEngine {
     /// coordinator aggregates and prunes slots whose handle was dropped
     /// and whose buffer is empty.
     fn drain_source_deltas(&mut self) {
-        let slots = self.sources.lock().expect("source registry").clone();
+        let slots = self.shared.slots();
         let mut any_closed = false;
         for slot in &slots {
             let mut inner = slot.inner.lock().expect("source slot");
@@ -418,7 +668,8 @@ impl ParallelEngine {
             any_closed |= inner.closed;
         }
         if any_closed {
-            self.sources
+            self.shared
+                .sources
                 .lock()
                 .expect("source registry")
                 .retain(|slot| {
@@ -428,35 +679,23 @@ impl ParallelEngine {
         }
     }
 
-    /// Blocks until every delivery of every ingested root has been
-    /// processed on every worker (the deterministic drain barrier).
-    /// Panics with a diagnostic if a worker thread has died — its roots
-    /// would never complete and the drain would otherwise spin forever.
-    fn barrier_drain(&mut self) {
-        if !self.try_drain(None) {
-            panic!(
-                "parallel engine drain barrier failed: a worker thread died \
-                 (watermark {})",
-                self.progress.watermark()
-            );
-        }
-    }
-
-    /// The drain loop behind [`Self::barrier_drain`] and the shutdown
-    /// path. Ships the coordinator's and every source's buffered
-    /// deliveries, then waits for the completion watermark to cover every
-    /// root allocated so far. Returns `false` (instead of panicking) when
-    /// a worker died or `deadline` elapsed.
+    /// The drain loop behind every barrier and the shutdown path. Ships
+    /// the coordinator's and every source's buffered deliveries, then
+    /// waits for the completion watermark to cover every root allocated
+    /// so far. Returns `false` (instead of panicking) when a worker died
+    /// or `deadline` elapsed.
     fn try_drain(&mut self, deadline: Option<StdDuration>) -> bool {
         // Ship any micro-batched deliveries first (the coordinator's own
         // slot included), or their roots could never complete and the
         // drain would stall.
         self.flush_sources();
-        let last = self.next_seq.load(Ordering::Acquire).saturating_sub(1);
+        let last = self.shared.sequenced();
         let started = Instant::now();
         let mut since_liveness_check = Instant::now();
-        while self.progress.watermark() < last {
-            self.progress.wait_for_change(StdDuration::from_millis(1));
+        while self.shared.progress.watermark() < last {
+            self.shared
+                .progress
+                .wait_for_change(StdDuration::from_millis(1));
             // A producer may have allocated a sequence number covered by
             // `last` but buffered its deliveries after the prelude flush;
             // keep sweeping so those roots can complete.
@@ -476,20 +715,21 @@ impl ParallelEngine {
 
     /// Runs a collection round: every worker replies with its deltas,
     /// which are merged into the coordinator aggregates. Must only be
-    /// called after [`Self::barrier_drain`]. Returns the number of tuples
+    /// called after a successful drain. Returns the number of tuples
     /// removed when `expire_upto` is set.
-    fn collect(&mut self, expire_upto: Option<Timestamp>) -> usize {
+    fn collect(&mut self, expire_upto: Option<Timestamp>) -> Result<usize> {
         self.collect_inner(expire_upto, false)
     }
 
-    fn collect_inner(&mut self, expire_upto: Option<Timestamp>, lenient: bool) -> usize {
+    fn collect_inner(&mut self, expire_upto: Option<Timestamp>, lenient: bool) -> Result<usize> {
         self.drain_source_deltas();
         self.token += 1;
         let token = self.token;
         for s in &self.senders {
-            let sent = s.send(WorkerMsg::Collect { token, expire_upto });
-            if !lenient {
-                sent.expect("worker alive");
+            if s.send(WorkerMsg::Collect { token, expire_upto }).is_err() && !lenient {
+                return Err(ClashError::Runtime(
+                    "collection barrier failed: a worker thread is gone".into(),
+                ));
             }
         }
         self.await_acks(token, lenient)
@@ -497,8 +737,8 @@ impl ParallelEngine {
 
     /// Receives one ack per worker for `token`, merging all deltas. In
     /// lenient mode (shutdown path) a dead worker aborts the round
-    /// instead of panicking.
-    fn await_acks(&mut self, token: u64, lenient: bool) -> usize {
+    /// without error.
+    fn await_acks(&mut self, token: u64, lenient: bool) -> Result<usize> {
         let mut acked = vec![false; self.workers];
         let mut expired = 0;
         let timeout = if lenient {
@@ -529,63 +769,104 @@ impl ParallelEngine {
                     if lenient {
                         break;
                     }
-                    panic!("parallel engine barrier timed out: a worker thread died");
+                    return Err(ClashError::Runtime(
+                        "parallel engine barrier timed out: a worker thread died".into(),
+                    ));
                 }
                 Err(RecvTimeoutError::Disconnected) => {
                     if lenient {
                         break;
                     }
-                    panic!("parallel engine barrier failed: all workers gone");
+                    return Err(ClashError::Runtime(
+                        "parallel engine barrier failed: all workers gone".into(),
+                    ));
                 }
             }
         }
-        expired
+        Ok(expired)
     }
 
-    /// Drains all in-flight work and merges every worker's deltas: the
-    /// epoch barrier. After `flush` the coordinator's metrics, statistics
-    /// and collected results reflect everything ingested so far.
-    pub fn flush(&mut self) {
+    /// The fallible epoch barrier: drain + collect. `Ok(())` when the
+    /// engine has already shut down (barriers are no-ops then).
+    pub(crate) fn try_flush(&mut self) -> Result<()> {
         if self.handles.is_empty() {
-            return; // already shut down
+            return Ok(());
         }
-        self.barrier_drain();
-        self.collect(None);
+        if !self.try_drain(None) {
+            return Err(ClashError::Runtime(format!(
+                "parallel engine drain barrier failed: a worker thread died \
+                 (watermark {})",
+                self.shared.progress.watermark()
+            )));
+        }
+        self.collect(None)?;
         if let Some(started) = self.active_since.take() {
             self.wall_busy += started.elapsed();
         }
+        Ok(())
     }
 
-    /// Expires out-of-window tuples from every shard (drains first so the
-    /// count is deterministic).
-    pub fn expire_stores(&mut self) -> usize {
+    /// The panicking epoch barrier of the owning thread's API (the
+    /// driver uses [`Self::try_flush`] and stops on error instead).
+    pub(crate) fn flush(&mut self) {
+        if let Err(e) = self.try_flush() {
+            panic!("{e}");
+        }
+    }
+
+    fn expire_stores(&mut self) -> usize {
         if self.handles.is_empty() {
             return 0; // already shut down
         }
-        self.barrier_drain();
+        if !self.try_drain(None) {
+            panic!(
+                "parallel engine drain barrier failed: a worker thread died \
+                 (watermark {})",
+                self.shared.progress.watermark()
+            );
+        }
         // Fold the source slots' stream clocks in before computing the
         // horizon: on source-fed streams `self.max_ts` only advances when
         // deltas are drained, and the expiry horizon must cover
         // everything pushed so far.
         self.drain_source_deltas();
-        let expired = self.collect(Some(self.max_ts));
+        let expired = self.collect(Some(self.max_ts)).expect("expiry barrier");
         if let Some(started) = self.active_since.take() {
             self.wall_busy += started.elapsed();
         }
         expired
     }
 
-    /// Installs (or replaces) the plan after a drain barrier. Shard state
-    /// with matching descriptor keys is carried over, mirroring the
-    /// sequential engine's rewiring (Section VI-A/B). Open sources are
-    /// rewired to route against the new plan; producers must quiesce
-    /// around the install (pushes racing it may be dropped by workers
-    /// that already switched plans).
-    pub fn install_plan(&mut self, plan: TopologyPlan) {
+    /// The quiesced plan install (see `ParallelEngine::install_plan`).
+    pub(crate) fn install_plan(&mut self, plan: TopologyPlan) -> Result<u64> {
         if self.handles.is_empty() {
-            return; // already shut down
+            return Err(ClashError::Shutdown);
         }
-        self.flush();
+        // Phase 1 — quiesce: pause admission on every producer and wait
+        // for in-flight pushes to finish routing. The guard resumes
+        // admission when dropped, so every exit path (including errors)
+        // releases blocked producers. (Local Arc clone: the guard must
+        // not borrow `self` across the mutating phases below.)
+        let shared = self.shared.clone();
+        let quiesced = shared.gate.quiesce();
+        // Phase 2 — flush residual old-plan batches and drain the workers
+        // to the completion barrier: every sequenced root is now fully
+        // processed under the old plan, and its results are collected.
+        if !self.try_drain(None) {
+            return Err(ClashError::Runtime(format!(
+                "plan install aborted: a worker thread died during the quiesce \
+                 drain (watermark {})",
+                self.shared.progress.watermark()
+            )));
+        }
+        self.collect(None)?;
+        if let Some(started) = self.active_since.take() {
+            self.wall_busy += started.elapsed();
+        }
+        let install_seq = self.shared.sequenced();
+        // Phase 3 — install: swap the plan on the coordinator, on every
+        // source slot (their buffers are empty after the drain) and on
+        // every worker, then wait for the install acks.
         let plan = Arc::new(plan);
         let layout = Arc::new(StoreLayout::derive(&self.catalog, &plan));
         self.symmetric = Arc::new(if self.multi_symmetric {
@@ -594,79 +875,53 @@ impl ParallelEngine {
             symmetric_stores(&plan)
         });
         self.plan = plan.clone();
-        // Rewire open sources: residual old-plan deliveries ship before
-        // the Install message is enqueued, new pushes route via the new
-        // plan.
-        let slots = self.sources.lock().expect("source registry").clone();
-        for slot in &slots {
+        for slot in self.shared.slots() {
             let mut inner = slot.inner.lock().expect("source slot");
+            debug_assert!(
+                inner.buf.is_empty(),
+                "source slot still buffered after quiesce drain"
+            );
             inner.buf.flush(&self.senders);
             inner.plan = plan.clone();
         }
         self.token += 1;
         let token = self.token;
         for s in &self.senders {
-            s.send(WorkerMsg::Install {
+            if s.send(WorkerMsg::Install {
                 token,
                 plan: plan.clone(),
                 layout: layout.clone(),
                 symmetric: self.symmetric.clone(),
             })
-            .expect("worker alive");
+            .is_err()
+            {
+                return Err(ClashError::Runtime(
+                    "plan install failed: a worker thread is gone (shut the \
+                     engine down)"
+                        .into(),
+                ));
+            }
         }
-        self.await_acks(token, false);
+        self.await_acks(token, false).map_err(|e| {
+            ClashError::Runtime(format!(
+                "plan install failed mid-reconfiguration ({e}); the engine \
+                 should be shut down"
+            ))
+        })?;
+        // Phase 4 — resume: blocked pushes proceed against the new plan.
+        drop(quiesced);
+        Ok(install_seq)
     }
 
-    /// The currently installed plan.
-    pub fn plan(&self) -> &TopologyPlan {
-        &self.plan
-    }
-
-    /// Aggregated statistics as of the last barrier.
-    pub fn stats_collector(&self) -> &StatsCollector {
-        &self.stats
-    }
-
-    /// Mutable access to the aggregated statistics (pruning).
-    pub fn stats_collector_mut(&mut self) -> &mut StatsCollector {
-        &mut self.stats
-    }
-
-    /// Results collected up to the last barrier (requires
-    /// `collect_results`). Order across workers is nondeterministic; sort
-    /// before comparing.
-    pub fn results(&self) -> &[(QueryId, Tuple)] {
-        &self.results
-    }
-
-    /// Clears collected results (between experiment phases).
-    pub fn clear_results(&mut self) {
-        self.results.clear();
-    }
-
-    /// Total tuples held across all shards (as of the last barrier).
-    pub fn store_tuples(&self) -> usize {
+    fn store_tuples(&self) -> usize {
         self.worker_store_totals.iter().map(|(t, _)| t).sum()
     }
 
-    /// Total bytes held across all shards (as of the last barrier).
-    pub fn store_bytes(&self) -> usize {
+    fn store_bytes(&self) -> usize {
         self.worker_store_totals.iter().map(|(_, b)| b).sum()
     }
 
-    /// Per-worker processing time accumulated so far (as of the last
-    /// barrier). Shows how evenly the shards split the work — on a
-    /// multi-core machine the wall-clock win tracks this distribution.
-    pub fn worker_busy(&self) -> &[StdDuration] {
-        &self.worker_busy
-    }
-
-    /// Runs a full barrier and returns the aggregated metrics snapshot.
-    /// `busy_secs` (and thus `throughput_tps`) is wall-clock time between
-    /// the first ingest and the end of the drain — the end-to-end rate an
-    /// external observer sees, which is the fair comparison against the
-    /// sequential engine's processing time.
-    pub fn snapshot(&mut self) -> MetricsSnapshot {
+    fn snapshot(&mut self) -> MetricsSnapshot {
         self.flush();
         let busy = self.wall_busy.as_secs_f64();
         MetricsSnapshot {
@@ -693,8 +948,7 @@ impl ParallelEngine {
         }
     }
 
-    /// Resets metrics and collected results without touching shard state.
-    pub fn reset_metrics(&mut self) {
+    fn reset_metrics(&mut self) {
         self.flush();
         self.metrics = EngineMetrics::default();
         self.results.clear();
@@ -702,21 +956,24 @@ impl ParallelEngine {
         self.worker_busy = vec![StdDuration::ZERO; self.workers];
     }
 
-    /// Drains all in-flight work (delivering outstanding results to the
-    /// sink and the collected-results buffer), then stops and joins every
-    /// worker thread and the flusher. Called automatically on drop, so
-    /// results produced after the last explicit barrier are not lost;
-    /// calling it explicitly makes the final collection observable before
-    /// the engine goes away. Idempotent; the engine is inert afterwards
-    /// (barriers no-op, `ingest` returns an error, source pushes are
-    /// dropped).
-    pub fn shutdown(&mut self) {
+    fn shutdown(&mut self) {
         if self.handles.is_empty() {
             return;
         }
+        // Quiesce, then refuse new pushes: a producer racing the shutdown
+        // either completes its push (covered by the drain below) or gets
+        // `ClashError::Shutdown` — never a silent drop.
+        {
+            let shared = self.shared.clone();
+            let quiesced = shared.gate.quiesce();
+            self.shared
+                .shutdown
+                .store(true, std::sync::atomic::Ordering::Release);
+            drop(quiesced);
+        }
         let workers_alive = !self.handles.iter().any(|h| h.is_finished());
         if workers_alive && self.try_drain(Some(StdDuration::from_secs(10))) {
-            self.collect_inner(None, true);
+            let _ = self.collect_inner(None, true);
             if let Some(started) = self.active_since.take() {
                 self.wall_busy += started.elapsed();
             }
@@ -727,50 +984,24 @@ impl ParallelEngine {
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
-        if let Some(mut flusher) = self.flusher.take() {
-            flusher.stop();
-        }
     }
 }
 
-impl EngineControl for ParallelEngine {
-    fn install_plan(&mut self, plan: TopologyPlan) {
-        ParallelEngine::install_plan(self, plan);
+impl EngineControl for EngineCore {
+    fn install_plan(&mut self, plan: TopologyPlan) -> Result<()> {
+        EngineCore::install_plan(self, plan).map(|_| ())
     }
 
     fn plan(&self) -> &TopologyPlan {
-        ParallelEngine::plan(self)
+        &self.plan
     }
 
     fn stats_collector(&self) -> &StatsCollector {
-        ParallelEngine::stats_collector(self)
+        &self.stats
     }
 
     fn stats_collector_mut(&mut self) -> &mut StatsCollector {
-        ParallelEngine::stats_collector_mut(self)
-    }
-}
-
-impl Drop for ParallelEngine {
-    fn drop(&mut self) {
-        if std::thread::panicking() {
-            // Unwinding: skip the drain (it could panic again and abort);
-            // just stop the threads.
-            self.coord_buf.flush_to(&self.senders);
-            for s in &self.senders {
-                let _ = s.send(WorkerMsg::Shutdown);
-            }
-            for handle in self.handles.drain(..) {
-                let _ = handle.join();
-            }
-            if let Some(mut flusher) = self.flusher.take() {
-                flusher.stop();
-            }
-            return;
-        }
-        // Drain in-flight batches first so results produced after the
-        // last explicit barrier still reach the sink / results buffer.
-        self.shutdown();
+        &mut self.stats
     }
 }
 
@@ -788,7 +1019,6 @@ pub fn auto_workers(plan: &TopologyPlan) -> usize {
 mod tests {
     use super::*;
     use crate::engine::LocalEngine;
-    use clash_catalog::Statistics;
     use clash_common::{TupleBuilder, Window};
     use clash_optimizer::{Planner, Strategy};
     use clash_query::parse_query;
@@ -948,9 +1178,7 @@ mod tests {
         let ls = local
             .stats_collector()
             .snapshot(clash_common::Epoch(0), &prior);
-        let ps = parallel
-            .stats_collector()
-            .snapshot(clash_common::Epoch(0), &prior);
+        let ps = parallel.stats_snapshot(clash_common::Epoch(0), &prior);
         for meta in catalog.iter() {
             assert!(
                 (ls.rate(meta.id) - ps.rate(meta.id)).abs() < 1e-9,
@@ -1071,10 +1299,33 @@ mod tests {
         engine.flush();
         let before = engine.store_tuples();
         assert!(before > 0);
-        engine.install_plan(report.plan);
+        let pos = engine.install_plan(report.plan).unwrap();
+        assert_eq!(
+            pos,
+            engine.sequenced(),
+            "install position covers every sequenced root"
+        );
         assert_eq!(engine.store_tuples(), before, "same plan keeps state");
-        engine.install_plan(TopologyPlan::default());
+        engine.install_plan(TopologyPlan::default()).unwrap();
         assert_eq!(engine.store_tuples(), 0, "empty plan drops all stores");
+    }
+
+    #[test]
+    fn install_plan_after_shutdown_errors() {
+        let (catalog, queries, stats) = setup(2);
+        let planner = Planner::with_defaults(&catalog, &stats);
+        let report = planner.plan(&queries, Strategy::Shared).unwrap();
+        let mut engine = ParallelEngine::new(
+            catalog.clone(),
+            report.plan.clone(),
+            EngineConfig::default(),
+            2,
+        );
+        engine.shutdown();
+        assert_eq!(
+            engine.install_plan(report.plan).unwrap_err(),
+            ClashError::Shutdown
+        );
     }
 
     #[test]

@@ -65,6 +65,7 @@
 //! (barriers, plan installs, expiry). See [`crate::ingest`].
 
 pub(crate) mod coordinator;
+pub(crate) mod driver;
 pub(crate) mod router;
 pub(crate) mod shard;
 pub(crate) mod worker;

@@ -84,6 +84,16 @@ impl StatsCollector {
         }
     }
 
+    /// Whether any observation (arrival or probe) was recorded for the
+    /// given epoch. The adaptive controller uses this to skip re-planning
+    /// over epochs a timer-driven cadence jumped over: without fresh
+    /// samples a snapshot would just echo the prior.
+    pub fn has_samples(&self, epoch: Epoch) -> bool {
+        self.epochs
+            .get(&epoch)
+            .is_some_and(|o| !o.arrivals.is_empty() || !o.predicate_obs.is_empty())
+    }
+
     /// Builds a statistics snapshot from the observations of one epoch.
     /// Relations or predicates without observations keep the defaults of
     /// the provided prior.
@@ -200,6 +210,18 @@ mod tests {
         let stats = c.snapshot(Epoch(9), &prior);
         assert_eq!(stats.rate(RelationId::new(1)), 42.0);
         assert_eq!(stats.epoch, Epoch(9));
+    }
+
+    #[test]
+    fn has_samples_reflects_recorded_observations() {
+        let mut c = StatsCollector::new(Duration::from_secs(1));
+        assert!(!c.has_samples(Epoch(0)));
+        c.record_arrival(Epoch(0), RelationId::new(0));
+        assert!(c.has_samples(Epoch(0)));
+        assert!(!c.has_samples(Epoch(1)), "other epochs stay empty");
+        let pred = EquiPredicate::new(attr(0, 0), attr(1, 0));
+        c.record_probe(Epoch(2), &[pred], 1, 10);
+        assert!(c.has_samples(Epoch(2)), "probe observations count too");
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //!
 //! Run with: `cargo run --release --example parallel_throughput`
 
-use clash_common::Window;
+use clash_common::{Duration, EpochConfig, Window};
 use clash_core::{ClashSystem, RuntimeMode, Strategy, SystemConfig};
+use clash_runtime::EngineConfig;
 use std::time::Instant;
 
 const TUPLES_PER_RELATION: u64 = 20_000;
@@ -15,6 +16,16 @@ const TUPLES_PER_RELATION: u64 = 20_000;
 fn run(mode: RuntimeMode) -> Result<(f64, u64, String), Box<dyn std::error::Error>> {
     let mut clash = ClashSystem::new(SystemConfig {
         runtime: mode,
+        // One epoch covering the whole stream: this demo compares raw
+        // throughput on a *fixed* plan, so keep the adaptive controller
+        // (ingest-driven on Local, epoch-driver-driven on Parallel) from
+        // rewiring mid-stream — reconfiguration points are wall-clock
+        // relative to the stream and would make the result counts
+        // differ between runtimes.
+        engine: EngineConfig {
+            epoch: EpochConfig::new(Duration::from_secs(1 << 20)),
+            ..EngineConfig::default()
+        },
         ..SystemConfig::default()
     });
     // Three streamed relations; store parallelism 4 so the catalog carries

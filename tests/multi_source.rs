@@ -155,7 +155,7 @@ fn run_multi_source_recorded(
     realized.sort_by_key(|(seq, _, _)| *seq);
     engine.flush();
     (
-        result_multiset(engine.results()),
+        result_multiset(&engine.results()),
         realized.into_iter().map(|(_, r, t)| (r, t)).collect(),
     )
 }
@@ -304,7 +304,7 @@ fn coordinator_and_sources_may_ingest_concurrently() {
     }
     producer.join().expect("producer thread");
     engine.flush();
-    assert_eq!(local, result_multiset(engine.results()));
+    assert_eq!(local, result_multiset(&engine.results()));
 }
 
 #[test]
@@ -381,7 +381,7 @@ fn backpressure_bounds_inflight_roots() {
     // engine on the stream as written despite the throttling.
     assert_eq!(
         run_local(&catalog, &plan, &stream),
-        result_multiset(engine.results())
+        result_multiset(&engine.results())
     );
 }
 
@@ -447,6 +447,277 @@ fn drop_without_barrier_drains_inflight_results() {
     // joining the workers.
     drop(engine);
     assert_eq!(delivered.load(Ordering::Relaxed), expected);
+}
+
+/// Outcome of [`run_with_installs`]: collected multiset, realized serial
+/// order, and realized install points `(position, plan index)`.
+type InstallRaceOutcome = (Vec<String>, Vec<(RelationId, Tuple)>, Vec<(u64, usize)>);
+
+/// Runs `sources` producer threads over round-robin slices of `stream`
+/// while the main thread force-installs `plans` (cycled) whenever
+/// `installs_every` further roots have been sequenced. Returns the
+/// collected multiset, the realized serial order, and the realized
+/// install points `(position, plan index)` — position `p` meaning roots
+/// `1..=p` ran under the previous plan and later roots under the new one.
+fn run_with_installs(
+    catalog: &Catalog,
+    plans: &[TopologyPlan],
+    stream: &[(RelationId, Tuple)],
+    sources: usize,
+    workers: usize,
+    installs_every: u64,
+    config: EngineConfig,
+) -> InstallRaceOutcome {
+    let mut engine = ParallelEngine::new(catalog.clone(), plans[0].clone(), config, workers);
+    let mut slices: Vec<Vec<(RelationId, Tuple)>> = (0..sources).map(|_| Vec::new()).collect();
+    for (idx, entry) in stream.iter().enumerate() {
+        slices[idx % sources].push(entry.clone());
+    }
+    let producers: Vec<_> = slices
+        .into_iter()
+        .map(|slice| {
+            let mut handle = engine.open_source();
+            std::thread::spawn(move || {
+                let mut log = Vec::with_capacity(slice.len());
+                for (relation, tuple) in slice {
+                    let seq = handle.push(relation, tuple.clone()).unwrap();
+                    log.push((seq, relation, tuple));
+                }
+                log
+            })
+        })
+        .collect();
+    // Force plan installs while the producers run: every time
+    // `installs_every` further roots have been sequenced, install the
+    // next plan of the cycle. This is the exact race that used to drop
+    // pushes — workers switching plans under concurrent producers.
+    let mut installs = Vec::new();
+    let mut next_install_at = installs_every;
+    let mut plan_idx = 0usize;
+    while producers.iter().any(|p| !p.is_finished()) {
+        if engine.sequenced() >= next_install_at {
+            plan_idx = (plan_idx + 1) % plans.len();
+            let pos = engine.install_plan(plans[plan_idx].clone()).unwrap();
+            installs.push((pos, plan_idx));
+            next_install_at = engine.sequenced() + installs_every;
+        }
+        std::thread::yield_now();
+    }
+    let mut realized: Vec<(u64, RelationId, Tuple)> = Vec::new();
+    for producer in producers {
+        realized.extend(producer.join().expect("producer thread"));
+    }
+    realized.sort_by_key(|(seq, _, _)| *seq);
+    engine.flush();
+    (
+        result_multiset(&engine.results()),
+        realized.into_iter().map(|(_, r, t)| (r, t)).collect(),
+        installs,
+    )
+}
+
+proptest! {
+    /// The install-race exactness property (the bug this PR fixes): N
+    /// producer threads pushing continuously across M forced
+    /// `install_plan` calls lose nothing — the multiset equals
+    /// `LocalEngine` on the realized sequence order. The re-installed
+    /// plan is identical, so state carry-over makes the replay
+    /// install-free; any dropped or stale-routed push would show up as a
+    /// missing or extra result.
+    #[test]
+    fn producers_racing_installs_lose_nothing(
+        seed in 0u64..10_000,
+        sources in 2usize..4,
+    ) {
+        let (catalog, queries) = catalog_with_parallelism(4);
+        let plan = planned(&catalog, &queries, Strategy::Shared);
+        let stream = random_stream(&catalog, 12, 0, 5, seed);
+        let plans = vec![plan];
+        let (multi, realized, installs) = run_with_installs(
+            &catalog, &plans, &stream, sources, 4, 8, collecting_config());
+        prop_assert_eq!(realized.len(), stream.len(), "every push sequenced exactly once");
+        let local = run_local(&catalog, &plans[0], &realized);
+        prop_assert_eq!(local, multi, "seed {}, {} sources, {} installs", seed, sources, installs.len());
+    }
+}
+
+#[test]
+fn installs_alternating_plans_match_local_replay_at_install_points() {
+    // The strong form of the quiesce contract: with *different* plans
+    // alternating under live producers, the engine equals `LocalEngine`
+    // replaying the realized order with the same plans installed at the
+    // same realized positions (`install_plan` returns them). Descriptor
+    // key carry-over applies on both sides.
+    let (catalog, queries) = catalog_with_parallelism(4);
+    let plans = vec![
+        planned(&catalog, &queries, Strategy::Shared),
+        planned(&catalog, &queries, Strategy::Independent),
+    ];
+    for seed in [11u64, 12, 13] {
+        let stream = random_stream(&catalog, 25, 0, 5, seed);
+        let (multi, realized, installs) =
+            run_with_installs(&catalog, &plans, &stream, 3, 4, 20, collecting_config());
+        assert_eq!(realized.len(), stream.len());
+        // Replay through LocalEngine with identical install points.
+        let config = collecting_config();
+        let mut local = LocalEngine::new(catalog.clone(), plans[0].clone(), config);
+        let mut install_iter = installs.iter().peekable();
+        for (i, (relation, tuple)) in realized.iter().enumerate() {
+            while install_iter.peek().is_some_and(|(pos, _)| *pos <= i as u64) {
+                let (_, idx) = install_iter.next().expect("peeked");
+                local.install_plan(plans[*idx].clone());
+            }
+            local.ingest(*relation, tuple.clone()).unwrap();
+        }
+        for (_, idx) in install_iter {
+            local.install_plan(plans[*idx].clone());
+        }
+        assert_eq!(
+            result_multiset(local.results()),
+            multi,
+            "seed {seed}: {} installs at {:?}",
+            installs.len(),
+            installs
+        );
+    }
+}
+
+#[test]
+fn no_push_blocks_past_the_quiesce_window() {
+    // Reconfiguration-under-load liveness: with repeated installs racing
+    // K producers, every push completes and none blocks anywhere near
+    // the backpressure stall threshold — pushes only ever wait for the
+    // bounded quiesce window (pause -> drain -> install -> resume).
+    let (catalog, queries) = catalog_with_parallelism(2);
+    let plan = planned(&catalog, &queries, Strategy::Shared);
+    let stream = random_stream(&catalog, 50, 0, 4, 17);
+    let mut engine = ParallelEngine::new(catalog.clone(), plan.clone(), collecting_config(), 2);
+    let mut slices: Vec<Vec<(RelationId, Tuple)>> = (0..3).map(|_| Vec::new()).collect();
+    for (idx, entry) in stream.iter().enumerate() {
+        slices[idx % 3].push(entry.clone());
+    }
+    let producers: Vec<_> = slices
+        .into_iter()
+        .map(|slice| {
+            let mut handle = engine.open_source();
+            std::thread::spawn(move || {
+                let mut max_push = Duration::ZERO;
+                for (relation, tuple) in slice {
+                    let started = Instant::now();
+                    handle.push(relation, tuple).unwrap();
+                    max_push = max_push.max(started.elapsed());
+                }
+                max_push
+            })
+        })
+        .collect();
+    // Do-while: at least one install runs even if the scheduler lets the
+    // producers finish first, and typically many overlap them.
+    let mut installs = 0;
+    loop {
+        engine.install_plan(plan.clone()).unwrap();
+        installs += 1;
+        if producers.iter().all(|p| p.is_finished()) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(installs > 0);
+    for producer in producers {
+        let max_push = producer.join().expect("producer thread");
+        assert!(
+            max_push < Duration::from_secs(10),
+            "a push blocked {max_push:?}, far past any quiesce window"
+        );
+    }
+}
+
+#[test]
+fn clash_system_source_workload_reconfigures_out_of_the_box() {
+    // The Fig. 8 acceptance path at the system level: a parallel
+    // deployment fed exclusively through `open_source()` (not one
+    // coordinator-thread ingest) records reconfigurations, because the
+    // control-plane epoch driver wired up by `deploy` fires the adaptive
+    // controller off the stream clock the pushes advance.
+    use clash_core::{ClashSystem, RuntimeMode, SystemConfig};
+    let mut clash = ClashSystem::new(SystemConfig {
+        runtime: RuntimeMode::Parallel(2),
+        ..SystemConfig::default()
+    });
+    clash
+        .register_relation("R", ["a"], clash_common::Window::secs(3600), 2)
+        .unwrap();
+    clash
+        .register_relation("S", ["a", "b"], clash_common::Window::secs(3600), 2)
+        .unwrap();
+    clash
+        .register_relation("T", ["b"], clash_common::Window::secs(3600), 2)
+        .unwrap();
+    clash.set_rate("R", 100.0).unwrap();
+    clash.set_rate("S", 100.0).unwrap();
+    clash.set_rate("T", 100.0).unwrap();
+    clash.register_query("q1", "R(a), S(a,b), T(b)").unwrap();
+    clash.deploy(clash_core::Strategy::GlobalIlp).unwrap();
+    let mut handle = clash.open_source().unwrap();
+    // A mid-stream query registration guarantees the next evaluated
+    // epoch boundary schedules a different plan.
+    clash.register_query("q2", "S(b), T(b)").unwrap();
+    let r = clash.catalog().relation_id("R").unwrap();
+    let s = clash.catalog().relation_id("S").unwrap();
+    let r_meta = clash.catalog().relation(r).unwrap().clone();
+    let s_meta = clash.catalog().relation(s).unwrap().clone();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut ts = 0u64;
+    let reconfigured = loop {
+        ts += 333;
+        let rt = clash_common::TupleBuilder::new(&r_meta.schema, Timestamp::from_millis(ts))
+            .set("a", (ts % 5) as i64)
+            .build();
+        handle.push(r, rt).unwrap();
+        let st = clash_common::TupleBuilder::new(&s_meta.schema, Timestamp::from_millis(ts))
+            .set("a", (ts % 5) as i64)
+            .set("b", (ts % 3) as i64)
+            .build();
+        handle.push(s, st).unwrap();
+        if clash.reconfigurations() > 0 {
+            break true;
+        }
+        if Instant::now() >= deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    assert!(
+        reconfigured,
+        "a source-fed ClashSystem deployment never re-optimized"
+    );
+    // Zero coordinator-thread ingests happened; the engine still drains
+    // and accounts every push.
+    let snap = clash.snapshot().unwrap();
+    assert!(snap.tuples_ingested > 0);
+}
+
+#[test]
+fn source_push_after_shutdown_errors() {
+    let (catalog, queries) = catalog_with_parallelism(2);
+    let plan = planned(&catalog, &queries, Strategy::Shared);
+    let stream = random_stream(&catalog, 2, 0, 4, 1);
+    let mut engine = ParallelEngine::new(catalog.clone(), plan, collecting_config(), 2);
+    let mut handle = engine.open_source();
+    let (relation, tuple) = stream[0].clone();
+    handle.push(relation, tuple.clone()).unwrap();
+    engine.shutdown();
+    assert_eq!(
+        handle.push(relation, tuple.clone()).unwrap_err(),
+        clash_common::ClashError::Shutdown,
+        "pushes after shutdown must error, not vanish"
+    );
+    drop(engine);
+    assert_eq!(
+        handle.push(relation, tuple).unwrap_err(),
+        clash_common::ClashError::Shutdown,
+        "pushes after drop must error too"
+    );
 }
 
 #[test]

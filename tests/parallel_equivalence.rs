@@ -124,7 +124,7 @@ fn run_parallel(
     }
     let snap = engine.snapshot();
     (
-        result_multiset(engine.results()),
+        result_multiset(&engine.results()),
         snap.total_results(),
         snap.tuples_sent,
     )

@@ -294,7 +294,7 @@ fn five_way_chain_multisets_agree_between_engines_on_out_of_order_input() {
         );
         assert_eq!(
             multiset(local.results()),
-            multiset(parallel.results()),
+            multiset(&parallel.results()),
             "{strategy:?} result multisets"
         );
         assert!(
@@ -343,7 +343,7 @@ fn micro_batching_preserves_chain_equivalence() {
         }
         engine.flush();
         assert_eq!(
-            multiset(engine.results()),
+            multiset(&engine.results()),
             reference,
             "micro_batch={micro_batch}"
         );
