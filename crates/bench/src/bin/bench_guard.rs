@@ -1,0 +1,157 @@
+//! Bench regression guard: fails when `BENCH_hotpath.json` reports a
+//! micro-row speedup below its checked-in floor (`ci/bench_floors.json`)
+//! or an ingest allocation count above the allowed ceiling.
+//!
+//! Usage:
+//!   cargo run -p clash-bench --bin bench_guard -- \
+//!       [report.json] [floors.json] [--allocs-only]
+//!
+//! Defaults: `BENCH_hotpath.json` and `ci/bench_floors.json` in the
+//! current directory. `--allocs-only` skips the timing floors — CI uses
+//! it on the freshly generated report of the (noisy, single-core) runner,
+//! where only the deterministic allocation metrics are assertable, while
+//! the full floors run against the committed report.
+//!
+//! Parsing is hand-rolled key scanning (the workspace's serde is an
+//! offline stub): both files are written by tooling in this repository,
+//! so the format is fixed and a strict scanner is sufficient — any
+//! missing key is itself an error.
+
+use std::process::ExitCode;
+
+/// Extracts the f64 following `"key":` after position `from`. Returns the
+/// value and the position right after it.
+fn number_after(text: &str, key: &str, from: usize) -> Option<(f64, usize)> {
+    let needle = format!("\"{key}\":");
+    let at = text[from..].find(&needle)? + from + needle.len();
+    let rest = text[at..].trim_start();
+    let consumed = text[at..].len() - rest.len();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    let value: f64 = rest[..end].parse().ok()?;
+    Some((value, at + consumed + end))
+}
+
+/// Extracts the `speedup` of the named micro row.
+fn micro_speedup(report: &str, name: &str) -> Option<f64> {
+    let marker = format!("\"name\": \"{name}\"");
+    let at = report.find(&marker)?;
+    number_after(report, "speedup", at).map(|(v, _)| v)
+}
+
+/// Parses the `"micro_speedup_floors"` object into `(name, floor)` pairs.
+fn parse_floors(floors: &str) -> Option<Vec<(String, f64)>> {
+    let start = floors.find("\"micro_speedup_floors\"")?;
+    let open = floors[start..].find('{')? + start;
+    let close = floors[open..].find('}')? + open;
+    let body = &floors[open + 1..close];
+    let mut out = Vec::new();
+    for entry in body.split(',') {
+        let mut parts = entry.splitn(2, ':');
+        let key = parts.next()?.trim().trim_matches('"').to_string();
+        let value: f64 = parts.next()?.trim().parse().ok()?;
+        out.push((key, value));
+    }
+    Some(out)
+}
+
+fn main() -> ExitCode {
+    let mut report_path = String::from("BENCH_hotpath.json");
+    let mut floors_path = String::from("ci/bench_floors.json");
+    let mut allocs_only = false;
+    let mut positional = 0usize;
+    for arg in std::env::args().skip(1) {
+        if arg == "--allocs-only" {
+            allocs_only = true;
+        } else {
+            match positional {
+                0 => report_path = arg,
+                _ => floors_path = arg,
+            }
+            positional += 1;
+        }
+    }
+
+    let report = match std::fs::read_to_string(&report_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_guard: cannot read report {report_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let floors = match std::fs::read_to_string(&floors_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_guard: cannot read floors {floors_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut checks = 0usize;
+
+    if !allocs_only {
+        let Some(pairs) = parse_floors(&floors) else {
+            eprintln!("bench_guard: malformed micro_speedup_floors in {floors_path}");
+            return ExitCode::FAILURE;
+        };
+        for (name, floor) in pairs {
+            checks += 1;
+            match micro_speedup(&report, &name) {
+                Some(speedup) if speedup >= floor => {
+                    println!("ok    {name}: speedup {speedup:.3} >= floor {floor:.3}");
+                }
+                Some(speedup) => violations.push(format!(
+                    "{name}: speedup {speedup:.3} fell below the floor {floor:.3}"
+                )),
+                None => violations.push(format!("{name}: micro row missing from {report_path}")),
+            }
+        }
+    }
+
+    // Allocation floors: deterministic, so they also hold on CI-fresh
+    // reports.
+    let allocs_at = report.find("\"allocs\"");
+    let optimized = allocs_at
+        .and_then(|at| number_after(&report, "optimized_allocs_per_tuple", at).map(|(v, _)| v));
+    let reduction = allocs_at.and_then(|at| number_after(&report, "reduction", at).map(|(v, _)| v));
+    let max_allocs = number_after(&floors, "max_optimized_allocs_per_tuple", 0).map(|(v, _)| v);
+    let min_reduction = number_after(&floors, "min_alloc_reduction", 0).map(|(v, _)| v);
+    match (optimized, max_allocs) {
+        (Some(got), Some(ceiling)) => {
+            checks += 1;
+            if got <= ceiling {
+                println!("ok    allocs/tuple: {got:.3} <= ceiling {ceiling:.3}");
+            } else {
+                violations.push(format!(
+                    "ingest path allocates {got:.3}/tuple, above the {ceiling:.3} ceiling"
+                ));
+            }
+        }
+        _ => violations.push("allocs-per-tuple metric or ceiling missing".to_string()),
+    }
+    match (reduction, min_reduction) {
+        (Some(got), Some(floor)) => {
+            checks += 1;
+            if got >= floor {
+                println!("ok    alloc reduction: {got:.3}x >= floor {floor:.3}x");
+            } else {
+                violations.push(format!(
+                    "alloc reduction {got:.3}x fell below the {floor:.3}x floor"
+                ));
+            }
+        }
+        _ => violations.push("alloc reduction metric or floor missing".to_string()),
+    }
+
+    if violations.is_empty() {
+        println!("bench_guard: {checks} checks passed ({report_path})");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("bench_guard VIOLATION: {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -40,6 +40,16 @@ fn main() {
             row.speedup()
         );
     }
+    println!(
+        "\n# Ingest allocation scenario ({} tuples, counting allocator)\n",
+        report.allocs.tuples
+    );
+    println!(
+        "allocs/tuple: baseline {:.2}, optimized {:.2} ({:.2}x fewer)",
+        report.allocs.baseline_allocs_per_tuple,
+        report.allocs.optimized_allocs_per_tuple,
+        report.allocs.reduction()
+    );
     println!("\n# Fig. 7 end-to-end (5 queries, optimized engine)\n");
     println!(
         "{:<12} {:>16} {:>12} {:>12} {:>10}",
@@ -53,13 +63,13 @@ fn main() {
     }
     println!("\n# Multi-source ingestion (2 queries, parallel engine, 4 workers)\n");
     println!(
-        "{:<14} {:>8} {:>16} {:>10} {:>13}",
-        "mode", "sources", "wall_tps[t/s]", "results", "busy_balance"
+        "{:<14} {:>8} {:>8} {:>16} {:>10} {:>13}",
+        "mode", "sources", "threads", "wall_tps[t/s]", "results", "busy_balance"
     );
     for r in &report.multi_source {
         println!(
-            "{:<14} {:>8} {:>16.0} {:>10} {:>13.3}",
-            r.mode, r.sources, r.wall_tps, r.results, r.busy_balance
+            "{:<14} {:>8} {:>8} {:>16.0} {:>10} {:>13.3}",
+            r.mode, r.sources, r.producer_threads, r.wall_tps, r.results, r.busy_balance
         );
     }
     println!("\n# Reconfiguration under load (quiesced installs, 2 sources)\n");

@@ -15,10 +15,17 @@
 //! | Ablations (DESIGN.md) | [`ablation`] |
 
 pub mod ablation;
+pub mod allocs;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod hotpath;
+
+/// Every binary and test of this crate counts allocations (one relaxed
+/// atomic per allocation), so the hotpath bench can report allocations
+/// per ingested tuple — see [`allocs`].
+#[global_allocator]
+static GLOBAL_ALLOCATOR: allocs::CountingAllocator = allocs::CountingAllocator;
 
 /// Prints a slice of serializable rows as aligned text plus one JSON line
 /// per row (machine-readable output consumed by EXPERIMENTS.md tooling).

@@ -1,7 +1,8 @@
 //! Metadata describing a registered streamed relation.
 
-use clash_common::{RelationId, SchemaRef, Window};
+use clash_common::{LeafLayout, RelationId, SchemaRef, Window};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Metadata of a streamed input relation.
 ///
@@ -21,6 +22,10 @@ pub struct RelationMeta {
     pub name: String,
     /// Attribute schema.
     pub schema: SchemaRef,
+    /// Cached leaf construction layout (width + name→slot map), derived
+    /// from the schema once at registration so ingest-side
+    /// [`clash_common::TupleBuilder`]s skip the per-attribute schema walk.
+    pub layout: Arc<LeafLayout>,
     /// Join window for tuples of this relation.
     pub window: Window,
     /// Number of partitions the relation's store is split into.
@@ -42,10 +47,12 @@ mod tests {
 
     #[test]
     fn broadcast_factor_is_at_least_one() {
+        let schema = Arc::new(Schema::new(RelationId::new(0), "R", ["a"]));
         let meta = RelationMeta {
             id: RelationId::new(0),
             name: "R".into(),
-            schema: Arc::new(Schema::new(RelationId::new(0), "R", ["a"])),
+            layout: Arc::new(LeafLayout::of_schema(&schema)),
+            schema,
             window: Window::secs(5),
             parallelism: 0,
         };

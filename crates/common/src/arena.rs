@@ -1,0 +1,168 @@
+//! Thread-local slab arena for base-leaf value buffers.
+//!
+//! Base-tuple construction is the last per-tuple allocation on the ingest
+//! hot path: every leaf owns a `Box<[Value]>` sized to its relation's
+//! schema width. Those widths repeat endlessly (one per relation), and
+//! window expiry frees leaves at the same rate ingest creates them — so
+//! instead of round-tripping each buffer through the global allocator,
+//! dropped leaves return their buffer to a per-thread pool keyed by width
+//! and the next [`crate::tuple::TupleBuilder`] (or [`crate::tuple::
+//! Tuple::base`] / `from_wire`) of that width reuses it.
+//!
+//! The pool is thread-local, so there is no synchronization on the hot
+//! path; a buffer freed on a worker thread simply seeds that worker's
+//! pool. Recycled buffers are cleared to `Value::Null` before pooling
+//! (dropping the payloads exactly as a plain drop would), so a reused
+//! buffer is indistinguishable from a fresh one. Pool size is capped per
+//! width; overflow falls through to the normal allocator.
+
+use crate::value::Value;
+use std::cell::RefCell;
+
+/// Widest buffer the pool recycles (the leaf bitmap width).
+const MAX_POOLED_WIDTH: usize = crate::tuple::MAX_ATTRS_PER_RELATION;
+
+/// Maximum pooled buffers per width (an expiry wave larger than this
+/// frees the excess normally).
+const MAX_POOLED_PER_WIDTH: usize = 8_192;
+
+/// Counters describing the pool's behavior on this thread
+/// (tests and the allocation benchmarks read them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Buffers handed out from the pool (allocation avoided).
+    pub reused: u64,
+    /// Buffers that had to be freshly allocated.
+    pub allocated: u64,
+    /// Buffers returned to the pool at leaf drop.
+    pub recycled: u64,
+    /// Buffers dropped because their width slot was full (or too wide).
+    pub discarded: u64,
+}
+
+struct LeafPool {
+    /// Free buffers by exact width.
+    by_width: Vec<Vec<Box<[Value]>>>,
+    stats: ArenaStats,
+}
+
+impl LeafPool {
+    const fn new() -> LeafPool {
+        LeafPool {
+            by_width: Vec::new(),
+            stats: ArenaStats {
+                reused: 0,
+                allocated: 0,
+                recycled: 0,
+                discarded: 0,
+            },
+        }
+    }
+}
+
+thread_local! {
+    // `const`-initialized: the TLS access compiles to a plain offset read
+    // with no lazy-init branch, which matters at one take + one recycle
+    // per constructed base tuple.
+    static POOL: RefCell<LeafPool> = const { RefCell::new(LeafPool::new()) };
+}
+
+/// Takes a zeroed (`Value::Null`-filled) buffer of exactly `width` slots,
+/// reusing a pooled one when available. Falls back to a fresh allocation
+/// when the thread-local pool is unavailable (thread teardown).
+pub(crate) fn take_buffer(width: usize) -> Box<[Value]> {
+    POOL.try_with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if let Some(buf) = pool.by_width.get_mut(width).and_then(|bucket| bucket.pop()) {
+            pool.stats.reused += 1;
+            return buf;
+        }
+        pool.stats.allocated += 1;
+        (0..width).map(|_| Value::Null).collect()
+    })
+    .unwrap_or_else(|_| (0..width).map(|_| Value::Null).collect())
+}
+
+/// Returns a leaf buffer to the pool (called from leaf/builder drops).
+/// Pooled slots are cleared to `Value::Null`, releasing their payloads;
+/// a buffer the pool has no room for is dropped as-is (the plain drop
+/// releases the payloads anyway), so bulk expiry waves beyond the pool
+/// cap pay nothing over a normal deallocation.
+pub(crate) fn recycle_buffer(mut buf: Box<[Value]>) {
+    let width = buf.len();
+    if width == 0 || width > MAX_POOLED_WIDTH {
+        return;
+    }
+    // `try_with`: a leaf dropped during thread-local teardown (e.g. a
+    // tuple cached in another TLS slot whose destructor runs after the
+    // pool's) must not panic — the buffer then just drops normally,
+    // releasing its payloads like any allocation.
+    let _ = POOL.try_with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.by_width.len() <= width {
+            pool.by_width.resize_with(width + 1, Vec::new);
+        }
+        if pool.by_width[width].len() < MAX_POOLED_PER_WIDTH {
+            // Dropping payloads cannot re-enter the pool: `Value` drops
+            // never construct tuples.
+            for slot in buf.iter_mut() {
+                *slot = Value::Null;
+            }
+            pool.by_width[width].push(buf);
+            pool.stats.recycled += 1;
+        } else {
+            pool.stats.discarded += 1;
+        }
+    });
+}
+
+/// Snapshot of this thread's pool counters.
+pub fn arena_stats() -> ArenaStats {
+    POOL.try_with(|pool| pool.borrow().stats)
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_recycled_and_reused_per_width() {
+        let before = arena_stats();
+        let buf = take_buffer(3);
+        assert_eq!(buf.len(), 3);
+        assert!(buf.iter().all(Value::is_null));
+        recycle_buffer(buf);
+        let mid = arena_stats();
+        assert_eq!(mid.recycled, before.recycled + 1);
+        let again = take_buffer(3);
+        assert_eq!(arena_stats().reused, before.reused + 1);
+        assert!(again.iter().all(Value::is_null));
+        // A different width does not hit the pooled buffer.
+        let other = take_buffer(5);
+        assert_eq!(other.len(), 5);
+        recycle_buffer(again);
+        recycle_buffer(other);
+    }
+
+    #[test]
+    fn recycling_clears_payloads() {
+        let mut buf = take_buffer(2);
+        buf[0] = Value::str("payload");
+        buf[1] = Value::Int(7);
+        recycle_buffer(buf);
+        let reused = take_buffer(2);
+        assert!(reused.iter().all(Value::is_null));
+        recycle_buffer(reused);
+    }
+
+    #[test]
+    fn zero_and_overwide_buffers_bypass_the_pool() {
+        let before = arena_stats();
+        recycle_buffer(take_buffer(0));
+        let wide: Box<[Value]> = (0..MAX_POOLED_WIDTH + 1).map(|_| Value::Null).collect();
+        recycle_buffer(wide);
+        let after = arena_stats();
+        assert_eq!(after.recycled, before.recycled);
+    }
+}

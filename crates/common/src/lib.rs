@@ -11,18 +11,24 @@
 //! the joinable partners through per-relation time windows. This crate
 //! provides exactly those primitives and nothing query- or plan-specific.
 
+pub mod arena;
 pub mod error;
+pub mod fxhash;
 pub mod ids;
+pub mod postings;
 pub mod relation_set;
 pub mod schema;
 pub mod time;
 pub mod tuple;
 pub mod value;
 
+pub use arena::{arena_stats, ArenaStats};
 pub use error::{ClashError, Result};
+pub use fxhash::{fx_hash, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{AttrId, EdgeId, QueryId, RelationId, StoreId, WorkerId};
+pub use postings::{PostingList, INLINE_POSTINGS};
 pub use relation_set::RelationSet;
 pub use schema::{AttrRef, Attribute, Schema, SchemaRef};
 pub use time::{Duration, Epoch, EpochConfig, Timestamp, Window};
-pub use tuple::{SlotAccessor, Tuple, TupleBuilder, TupleIter, MAX_ATTRS_PER_RELATION};
+pub use tuple::{LeafLayout, SlotAccessor, Tuple, TupleBuilder, TupleIter, MAX_ATTRS_PER_RELATION};
 pub use value::Value;

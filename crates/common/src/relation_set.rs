@@ -55,6 +55,7 @@ impl RelationSet {
     }
 
     /// Membership test.
+    #[inline]
     pub fn contains(&self, r: RelationId) -> bool {
         r.index() < MAX_RELATIONS && (self.0 >> r.index()) & 1 == 1
     }

@@ -130,6 +130,7 @@ impl Window {
 
     /// Returns `true` if a stored tuple with timestamp `stored` is still
     /// joinable with a probing tuple of timestamp `probe`.
+    #[inline]
     pub fn contains(&self, probe: Timestamp, stored: Timestamp) -> bool {
         if stored > probe {
             // Later-arriving tuples are handled by the probe in the other
@@ -140,6 +141,7 @@ impl Window {
     }
 
     /// Earliest timestamp that is still joinable with a probe at `probe`.
+    #[inline]
     pub fn horizon(&self, probe: Timestamp) -> Timestamp {
         probe - self.length
     }

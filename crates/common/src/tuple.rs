@@ -32,6 +32,14 @@
 //! [`Tuple::approx_size_bytes`] is O(1) and reports the *flattened*
 //! (logical / serialized) payload size — the bytes a distributed
 //! deployment would ship and store, regardless of structural sharing.
+//!
+//! Construction is arena-backed: leaf value buffers come from the
+//! thread-local pool in [`crate::arena`] and return there when a leaf is
+//! dropped (most commonly at window expiry), so steady-state ingest
+//! reuses memory instead of allocating per tuple. [`TupleBuilder`] writes
+//! values positionally into such a buffer — optionally resolving names
+//! through a catalog-cached [`LeafLayout`] — with no intermediate
+//! `(AttrRef, Value)` vector and no re-scan at build time.
 
 use crate::error::{ClashError, Result};
 use crate::ids::{AttrId, RelationId};
@@ -55,6 +63,30 @@ const SIZE_HEADER: usize = 32;
 /// comparable across representations.
 fn per_entry_bytes() -> usize {
     std::mem::size_of::<(AttrRef, Value)>()
+}
+
+/// The one slot-write primitive every leaf construction path shares
+/// (pair-vector `Tuple::base`, the wire decoder and [`TupleBuilder`]):
+/// first write wins (matching the seed's linear `find` lookup semantics
+/// for duplicate attributes), presence bit set, size accounted. Returns
+/// `false` when the slot was already written (the value is left
+/// untouched by the caller).
+#[inline]
+fn write_slot(
+    values: &mut [Value],
+    present: &mut u64,
+    bytes: &mut usize,
+    slot: usize,
+    value: Value,
+) -> bool {
+    let bit = 1u64 << slot;
+    if *present & bit != 0 {
+        return false;
+    }
+    *present |= bit;
+    *bytes += per_entry_bytes() + value.approx_size_bytes();
+    values[slot] = value;
+    true
 }
 
 /// One leaf of the rope: the values of a single base relation, stored
@@ -85,7 +117,9 @@ impl BaseLeaf {
             "attribute slot {} exceeds the {MAX_ATTRS_PER_RELATION}-attribute leaf limit",
             width.saturating_sub(1)
         );
-        let mut values: Vec<Value> = (0..width).map(|_| Value::Null).collect();
+        // Arena-backed: the value buffer comes from the thread-local leaf
+        // pool (recycled by the `Drop` below) instead of a fresh `Vec`.
+        let mut values = crate::arena::take_buffer(width);
         let mut present = 0u64;
         let mut bytes = 0usize;
         for (attr, value) in pairs {
@@ -96,24 +130,35 @@ impl BaseLeaf {
             if attr.relation != relation {
                 continue;
             }
-            let slot = attr.attr.index();
-            let bit = 1u64 << slot;
-            // First write wins, matching the seed's linear `find` lookup
-            // semantics for (accidental) duplicate attributes.
-            if present & bit == 0 {
-                present |= bit;
-                bytes += per_entry_bytes() + value.approx_size_bytes();
-                values[slot] = value;
-            }
+            write_slot(
+                &mut values,
+                &mut present,
+                &mut bytes,
+                attr.attr.index(),
+                value,
+            );
         }
         BaseLeaf {
             relation,
             present,
-            values: values.into_boxed_slice(),
+            values,
             bytes,
         }
     }
 
+    /// Assembles a leaf from a builder-filled buffer (no re-scan).
+    #[inline]
+    fn from_parts(relation: RelationId, present: u64, values: Box<[Value]>, bytes: usize) -> Self {
+        debug_assert!(values.len() <= MAX_ATTRS_PER_RELATION);
+        BaseLeaf {
+            relation,
+            present,
+            values,
+            bytes,
+        }
+    }
+
+    #[inline]
     fn slot(&self, slot: usize) -> Option<&Value> {
         if slot < MAX_ATTRS_PER_RELATION && self.present & (1u64 << slot) != 0 {
             self.values.get(slot)
@@ -122,8 +167,18 @@ impl BaseLeaf {
         }
     }
 
+    #[inline]
     fn arity(&self) -> usize {
         self.present.count_ones() as usize
+    }
+}
+
+/// Leaf buffers return to the thread-local arena when a leaf dies (most
+/// commonly at window expiry), so steady-state ingest stops paying an
+/// allocator round trip per base tuple.
+impl Drop for BaseLeaf {
+    fn drop(&mut self) {
+        crate::arena::recycle_buffer(std::mem::take(&mut self.values));
     }
 }
 
@@ -191,6 +246,7 @@ impl Tuple {
     /// relation-set-guided descent to the owning leaf followed by a
     /// positional slot read — no linear scan. (One-shot form of
     /// [`SlotAccessor::get`]; hot paths precompute the accessor instead.)
+    #[inline]
     pub fn get(&self, attr: &AttrRef) -> Option<&Value> {
         SlotAccessor::of(attr).get(self)
     }
@@ -246,6 +302,7 @@ impl Tuple {
     /// Returns `None` when the relation sets overlap (joining a tuple with
     /// itself or with an overlapping partial result would be a logic error
     /// in the probe routing).
+    #[inline]
     pub fn join(&self, other: &Tuple) -> Option<Tuple> {
         if !self.relations.is_disjoint(&other.relations) {
             return None;
@@ -291,6 +348,7 @@ impl Tuple {
     /// bytes — the logical size a serialized copy would occupy, counting
     /// attribute references and values. Cached at construction (O(1)).
     /// Used for the store memory accounting behind Fig. 7c.
+    #[inline]
     pub fn approx_size_bytes(&self) -> usize {
         SIZE_HEADER + self.node.bytes()
     }
@@ -351,14 +409,34 @@ impl Tuple {
         }
         // One leaf per relation of the set (relations carrying no
         // attributes still contribute an empty leaf so the set survives).
+        // Values are *moved* out of the decoded pair list into arena-backed
+        // leaf buffers — no per-leaf pair vector, no value clones.
         let mut node: Option<(Arc<Node>, RelationSet)> = None;
         for relation in relations.iter() {
-            let leaf_pairs: Vec<(AttrRef, Value)> = pairs
+            let width = pairs
                 .iter()
                 .filter(|(a, _)| a.relation == relation)
-                .cloned()
-                .collect();
-            let leaf = Arc::new(Node::Base(BaseLeaf::new(relation, leaf_pairs)));
+                .map(|(a, _)| a.attr.index() + 1)
+                .max()
+                .unwrap_or(0);
+            let mut values = crate::arena::take_buffer(width);
+            let mut present = 0u64;
+            let mut leaf_bytes = 0usize;
+            for (attr, value) in pairs.iter_mut() {
+                if attr.relation != relation {
+                    continue;
+                }
+                write_slot(
+                    &mut values,
+                    &mut present,
+                    &mut leaf_bytes,
+                    attr.attr.index(),
+                    std::mem::replace(value, Value::Null),
+                );
+            }
+            let leaf = Arc::new(Node::Base(BaseLeaf::from_parts(
+                relation, present, values, leaf_bytes,
+            )));
             node = Some(match node {
                 None => (leaf, RelationSet::singleton(relation)),
                 Some((left, left_relations)) => {
@@ -480,6 +558,7 @@ pub struct SlotAccessor {
 
 impl SlotAccessor {
     /// Precomputes the accessor for an attribute reference.
+    #[inline]
     pub fn of(attr: &AttrRef) -> SlotAccessor {
         SlotAccessor {
             relation: attr.relation,
@@ -493,11 +572,12 @@ impl SlotAccessor {
     }
 
     /// Positional lookup on a tuple: relation-set descent to the leaf,
-    /// then a direct slot read.
+    /// then a direct slot read. No upfront membership test: descending on
+    /// "not in the left half → go right" lands on *some* leaf either way,
+    /// and the leaf's relation check rejects foreign attributes — one
+    /// fewer set test on the hit path the probe loop pays per candidate.
+    #[inline]
     pub fn get<'t>(&self, tuple: &'t Tuple) -> Option<&'t Value> {
-        if !tuple.relations.contains(self.relation) {
-            return None;
-        }
         let mut node = &*tuple.node;
         loop {
             match node {
@@ -616,38 +696,173 @@ impl<'a> WireReader<'a> {
     }
 }
 
-/// Builder for base tuples that resolves attribute names through a
-/// [`Schema`], so call sites can write `builder.set("custkey", 42)`.
+/// Precomputed per-relation leaf construction layout: the leaf width and
+/// a sorted name → slot map, both fixed by the schema. The catalog caches
+/// one per registered relation so ingest-side tuple construction resolves
+/// names by binary search over a prebuilt table instead of re-walking the
+/// schema's attribute list, and allocates its leaf buffer at the exact
+/// schema width (which keeps the arena pool's width buckets hot).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LeafLayout {
+    relation: RelationId,
+    /// Leaf buffer width (schema arity).
+    width: usize,
+    /// Attribute names sorted for binary search, each with its slot.
+    slots: Vec<(String, AttrId)>,
+}
+
+impl LeafLayout {
+    /// Derives the layout of a schema.
+    pub fn of_schema(schema: &Schema) -> LeafLayout {
+        assert!(
+            schema.arity() <= MAX_ATTRS_PER_RELATION,
+            "schema {} exceeds the {MAX_ATTRS_PER_RELATION}-attribute leaf limit",
+            schema.name
+        );
+        let mut slots: Vec<(String, AttrId)> = schema
+            .attributes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.name.clone(), AttrId::new(i as u32)))
+            .collect();
+        slots.sort();
+        LeafLayout {
+            relation: schema.relation,
+            width: schema.arity(),
+            slots,
+        }
+    }
+
+    /// The relation this layout describes.
+    pub fn relation(&self) -> RelationId {
+        self.relation
+    }
+
+    /// Dense leaf width (schema arity).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Resolves an attribute name to its slot.
+    pub fn slot_of(&self, name: &str) -> Option<AttrId> {
+        self.slots
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.slots[i].1)
+    }
+}
+
+/// Builder for base tuples that writes values straight into an
+/// arena-backed leaf buffer — no intermediate `(AttrRef, Value)` vector,
+/// no re-scan at build time. Names resolve through a cached
+/// [`LeafLayout`] (binary search) when one is supplied, falling back to
+/// the [`Schema`]'s attribute list otherwise; hot paths that already know
+/// the slot use [`TupleBuilder::set_slot`]. The buffer itself comes from
+/// the thread-local leaf arena, so steady-state construction reuses
+/// memory freed by window expiry.
 #[derive(Debug)]
 pub struct TupleBuilder<'a> {
     schema: &'a Schema,
+    layout: Option<&'a LeafLayout>,
+    relation: RelationId,
     ts: Timestamp,
-    values: Vec<(AttrRef, Value)>,
+    values: Box<[Value]>,
+    present: u64,
+    bytes: usize,
 }
 
 impl<'a> TupleBuilder<'a> {
     /// Starts building a tuple of the given relation with timestamp `ts`.
+    #[inline]
     pub fn new(schema: &'a Schema, ts: Timestamp) -> Self {
+        Self::with_layout_opt(schema, None, ts)
+    }
+
+    /// Starts building with a cached [`LeafLayout`] (the catalog caches
+    /// one per relation), skipping the per-`set` schema walk.
+    #[inline]
+    pub fn with_layout(schema: &'a Schema, layout: &'a LeafLayout, ts: Timestamp) -> Self {
+        debug_assert_eq!(layout.relation(), schema.relation, "layout mismatch");
+        Self::with_layout_opt(schema, Some(layout), ts)
+    }
+
+    #[inline]
+    fn with_layout_opt(schema: &'a Schema, layout: Option<&'a LeafLayout>, ts: Timestamp) -> Self {
+        let width = layout.map_or_else(|| schema.arity(), LeafLayout::width);
+        assert!(
+            width <= MAX_ATTRS_PER_RELATION,
+            "schema {} exceeds the {MAX_ATTRS_PER_RELATION}-attribute leaf limit",
+            schema.name
+        );
         TupleBuilder {
             schema,
+            layout,
+            relation: schema.relation,
             ts,
-            values: Vec::with_capacity(schema.arity()),
+            values: crate::arena::take_buffer(width),
+            present: 0,
+            bytes: 0,
         }
     }
 
     /// Sets an attribute by name. Unknown names are ignored with a debug
     /// assertion, so typos surface in tests without poisoning release runs.
     pub fn set(mut self, attr: &str, value: impl Into<Value>) -> Self {
-        match self.schema.attr_ref(attr) {
-            Some(r) => self.values.push((r, value.into())),
+        let slot = match self.layout {
+            Some(layout) => layout.slot_of(attr),
+            None => self.schema.attr_id(attr),
+        };
+        match slot {
+            Some(id) => self.put(id.index(), value.into()),
             None => debug_assert!(false, "unknown attribute {attr} on {}", self.schema.name),
         }
         self
     }
 
-    /// Finishes the tuple.
-    pub fn build(self) -> Tuple {
-        Tuple::base(self.schema.relation, self.ts, self.values)
+    /// Sets an attribute by schema slot — the positional fast path for
+    /// generators and codecs that resolved the slot once up front.
+    /// Out-of-range slots are ignored with a debug assertion.
+    #[inline]
+    pub fn set_slot(mut self, attr: AttrId, value: impl Into<Value>) -> Self {
+        self.put(attr.index(), value.into());
+        self
+    }
+
+    #[inline]
+    fn put(&mut self, slot: usize, value: Value) {
+        if slot >= self.values.len() {
+            debug_assert!(false, "slot {slot} out of range on {}", self.schema.name);
+            return;
+        }
+        write_slot(
+            &mut self.values,
+            &mut self.present,
+            &mut self.bytes,
+            slot,
+            value,
+        );
+    }
+
+    /// Finishes the tuple. The filled buffer becomes the leaf directly —
+    /// no re-scan, no copy.
+    #[inline]
+    pub fn build(mut self) -> Tuple {
+        let values = std::mem::take(&mut self.values);
+        let leaf = BaseLeaf::from_parts(self.relation, self.present, values, self.bytes);
+        Tuple {
+            ts: self.ts,
+            ingest_ts: self.ts,
+            relations: RelationSet::singleton(self.relation),
+            node: Arc::new(Node::Base(leaf)),
+        }
+    }
+}
+
+/// An abandoned builder returns its buffer to the arena. (`build` empties
+/// the buffer first, so the drop after a successful build is a no-op.)
+impl Drop for TupleBuilder<'_> {
+    fn drop(&mut self) {
+        crate::arena::recycle_buffer(std::mem::take(&mut self.values));
     }
 }
 

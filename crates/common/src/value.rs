@@ -61,12 +61,14 @@ impl Value {
     }
 
     /// `true` when the value is `Null`.
+    #[inline]
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
     }
 
     /// Approximate number of heap + inline bytes occupied by this value.
     /// Used by the runtime to account for store memory (Fig. 7c).
+    #[inline]
     pub fn approx_size_bytes(&self) -> usize {
         match self {
             Value::Null => 1,
@@ -79,6 +81,7 @@ impl Value {
 
     /// Equality as used by join predicates: `Null` never matches anything,
     /// including another `Null` (SQL semantics).
+    #[inline]
     pub fn join_eq(&self, other: &Value) -> bool {
         if self.is_null() || other.is_null() {
             return false;
@@ -88,6 +91,7 @@ impl Value {
 }
 
 impl PartialEq for Value {
+    #[inline]
     fn eq(&self, other: &Self) -> bool {
         match (self, other) {
             (Value::Null, Value::Null) => true,
@@ -103,6 +107,7 @@ impl PartialEq for Value {
 impl Eq for Value {}
 
 impl Hash for Value {
+    #[inline]
     fn hash<H: Hasher>(&self, state: &mut H) {
         match self {
             Value::Null => 0u8.hash(state),

@@ -219,7 +219,7 @@ impl AdaptiveScenario {
             ("U", vec![("c", u_c), ("pay", 0)]),
         ] {
             let meta = self.catalog.relation_by_name(name).expect("registered");
-            let mut b = TupleBuilder::new(&meta.schema, ts);
+            let mut b = TupleBuilder::with_layout(&meta.schema, &meta.layout, ts);
             for (attr, v) in &values {
                 b = b.set(attr, *v);
             }

@@ -1,7 +1,7 @@
 //! TPC-H-shaped streaming schema, workloads and data generator.
 
 use clash_catalog::{Catalog, Statistics};
-use clash_common::{QueryId, RelationId, Result, Timestamp, Tuple, TupleBuilder, Window};
+use clash_common::{QueryId, RelationId, Result, Timestamp, Tuple, TupleBuilder, Value, Window};
 use clash_query::{JoinQuery, QueryBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -195,6 +195,14 @@ pub struct TpchGenerator {
     next_ts: u64,
     ts_step: u64,
     counter: u64,
+    /// Interned categorical string values: repeated flags share one
+    /// `Arc<str>` across every generated tuple (and therefore across every
+    /// store index key built from them) instead of allocating a fresh
+    /// string per tuple.
+    statuses: [Value; 3],
+    region_name: Value,
+    nation_name: Value,
+    mktsegment: Value,
 }
 
 impl TpchGenerator {
@@ -206,6 +214,10 @@ impl TpchGenerator {
             next_ts: 0,
             ts_step: 1,
             counter: 0,
+            statuses: [Value::str("F"), Value::str("O"), Value::str("P")],
+            region_name: Value::str("REGION"),
+            nation_name: Value::str("NATION"),
+            mktsegment: Value::str("BUILDING"),
         }
     }
 
@@ -219,25 +231,28 @@ impl TpchGenerator {
         Timestamp::from_millis(self.next_ts)
     }
 
-    /// Generates the next tuple of the named relation.
+    /// Generates the next tuple of the named relation. Builders run
+    /// through the catalog's cached [`clash_common::LeafLayout`] (arena-
+    /// backed leaf buffers, precomputed slot map); categorical strings are
+    /// interned `Arc<str>` clones, not fresh allocations.
     pub fn tuple(&mut self, workload: &TpchWorkload, relation: &str) -> Result<Tuple> {
         let meta = workload.catalog.relation_by_name(relation)?;
         let ts = self.ts();
         self.counter += 1;
-        let statuses = ["F", "O", "P"];
+        let builder = TupleBuilder::with_layout(&meta.schema, &meta.layout, ts);
         let t = match relation {
-            "region" => TupleBuilder::new(&meta.schema, ts)
+            "region" => builder
                 .set("regionkey", self.rng.gen_range(0..5i64))
-                .set("name", "REGION")
+                .set("name", self.region_name.clone())
                 .build(),
-            "nation" => TupleBuilder::new(&meta.schema, ts)
+            "nation" => builder
                 .set("nationkey", self.rng.gen_range(0..25i64))
                 .set("regionkey", self.rng.gen_range(0..5i64))
-                .set("name", "NATION")
+                .set("name", self.nation_name.clone())
                 .build(),
             "supplier" => {
                 let k = self.key(10_000.0);
-                TupleBuilder::new(&meta.schema, ts)
+                builder
                     .set("suppkey", k)
                     .set("nationkey", self.rng.gen_range(0..25i64))
                     .set("acctbal", self.rng.gen_range(0..100_000i64))
@@ -245,15 +260,15 @@ impl TpchGenerator {
             }
             "customer" => {
                 let k = self.key(150_000.0);
-                TupleBuilder::new(&meta.schema, ts)
+                builder
                     .set("custkey", k)
                     .set("nationkey", self.rng.gen_range(0..25i64))
-                    .set("mktsegment", "BUILDING")
+                    .set("mktsegment", self.mktsegment.clone())
                     .build()
             }
             "part" => {
                 let k = self.key(200_000.0);
-                TupleBuilder::new(&meta.schema, ts)
+                builder
                     .set("partkey", k)
                     .set("brand", self.rng.gen_range(0..25i64))
                     .set("size", self.rng.gen_range(1..50i64))
@@ -262,7 +277,7 @@ impl TpchGenerator {
             "partsupp" => {
                 let pk = self.key(200_000.0);
                 let sk = self.key(10_000.0);
-                TupleBuilder::new(&meta.schema, ts)
+                builder
                     .set("partkey", pk)
                     .set("suppkey", sk)
                     .set("supplycost", self.rng.gen_range(1..1_000i64))
@@ -271,10 +286,13 @@ impl TpchGenerator {
             "orders" => {
                 let ok = self.key(1_500_000.0);
                 let ck = self.key(150_000.0);
-                TupleBuilder::new(&meta.schema, ts)
+                builder
                     .set("orderkey", ok)
                     .set("custkey", ck)
-                    .set("orderstatus", statuses[self.rng.gen_range(0..3)])
+                    .set(
+                        "orderstatus",
+                        self.statuses[self.rng.gen_range(0..3)].clone(),
+                    )
                     .set("totalprice", self.rng.gen_range(1..500_000i64))
                     .build()
             }
@@ -282,11 +300,14 @@ impl TpchGenerator {
                 let ok = self.key(1_500_000.0);
                 let pk = self.key(200_000.0);
                 let sk = self.key(10_000.0);
-                TupleBuilder::new(&meta.schema, ts)
+                builder
                     .set("orderkey", ok)
                     .set("partkey", pk)
                     .set("suppkey", sk)
-                    .set("linestatus", statuses[self.rng.gen_range(0..3)])
+                    .set(
+                        "linestatus",
+                        self.statuses[self.rng.gen_range(0..3)].clone(),
+                    )
                     .set("quantity", self.rng.gen_range(1..50i64))
                     .build()
             }
@@ -397,6 +418,25 @@ mod tests {
         let li_count = stream.iter().filter(|(r, _)| *r == lineitem).count();
         let re_count = stream.iter().filter(|(r, _)| *r == region).count();
         assert!(li_count > re_count, "lineitem dominates the stream");
+    }
+
+    #[test]
+    fn categorical_strings_are_interned_across_tuples() {
+        let w = TpchWorkload::new(1, Window::secs(60)).unwrap();
+        let mut gen = TpchGenerator::new(0.01, 3);
+        let name_attr = w.catalog.attr("region", "name").unwrap();
+        let a = gen.tuple(&w, "region").unwrap();
+        let b = gen.tuple(&w, "region").unwrap();
+        let (sa, sb) = (
+            a.get(&name_attr).unwrap().as_str().unwrap(),
+            b.get(&name_attr).unwrap().as_str().unwrap(),
+        );
+        assert_eq!(sa, "REGION");
+        // Same backing Arc<str>, not merely equal content.
+        assert!(
+            std::ptr::eq(sa.as_ptr(), sb.as_ptr()),
+            "repeated categorical value must share one interned allocation"
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::stats_collector::StatsCollector;
 use crate::store::{partition_hash, StoreInstance};
 use clash_catalog::Catalog;
 use clash_common::{
-    ClashError, Epoch, EpochConfig, QueryId, Result, StoreId, Timestamp, Tuple, Window,
+    ClashError, Epoch, EpochConfig, FxHashMap, QueryId, Result, StoreId, Timestamp, Tuple, Window,
 };
 use clash_optimizer::{OutputAction, Rule, SendTarget, TopologyPlan};
 use std::collections::HashMap;
@@ -149,7 +149,7 @@ pub struct LocalEngine {
     /// The installed plan, shared so rule sets can be borrowed on the
     /// delivery hot path without cloning them per delivered tuple.
     plan: Arc<TopologyPlan>,
-    stores: HashMap<StoreId, StoreInstance>,
+    stores: FxHashMap<StoreId, StoreInstance>,
     metrics: EngineMetrics,
     stats: StatsCollector,
     results: Vec<(QueryId, Tuple)>,
@@ -176,7 +176,7 @@ impl LocalEngine {
             catalog,
             config,
             plan: Arc::new(TopologyPlan::default()),
-            stores: HashMap::new(),
+            stores: FxHashMap::default(),
             metrics: EngineMetrics::default(),
             stats,
             results: Vec::new(),
@@ -198,7 +198,7 @@ impl LocalEngine {
     /// losing results); stores that no longer appear are dropped
     /// (reference-count reaching zero in Section VI-B).
     pub fn install_plan(&mut self, plan: TopologyPlan) {
-        let mut new_stores: HashMap<StoreId, StoreInstance> = HashMap::new();
+        let mut new_stores: FxHashMap<StoreId, StoreInstance> = FxHashMap::default();
         // Index existing stores by descriptor key for state carry-over.
         let mut existing: HashMap<String, StoreInstance> = self
             .stores

@@ -1,6 +1,6 @@
 //! Runtime metrics: the quantities behind Fig. 7b–7d and Fig. 8.
 
-use clash_common::QueryId;
+use clash_common::{FxHashMap, QueryId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::time::Duration;
@@ -25,8 +25,9 @@ pub struct EngineMetrics {
     pub tuples_sent: u64,
     /// Messages that were broadcast to every partition of a store.
     pub broadcasts: u64,
-    /// Join results emitted per query.
-    pub results: HashMap<QueryId, u64>,
+    /// Join results emitted per query (bumped once per emitted result —
+    /// Fx-hashed so the emission path does not pay SipHash per result).
+    pub results: FxHashMap<QueryId, u64>,
     /// Probe lookups performed.
     pub probes: u64,
     /// Sum and max of per-result latency (µs), per query.

@@ -32,8 +32,8 @@ use crate::stats_collector::StatsCollector;
 use crate::store::StoreInstance;
 use clash_catalog::Catalog;
 use clash_common::{
-    AttrRef, EdgeId, Epoch, EpochConfig, QueryId, SlotAccessor, StoreId, Timestamp, Tuple, Value,
-    Window,
+    AttrRef, EdgeId, Epoch, EpochConfig, FxHashMap, QueryId, SlotAccessor, StoreId, Timestamp,
+    Tuple, Value, Window,
 };
 use clash_optimizer::{OutputAction, Rule, TopologyPlan};
 use std::collections::{HashMap, HashSet};
@@ -100,8 +100,9 @@ struct PendingSet {
     /// edge -> join-key value -> probers awaiting a matching insert.
     /// (Nested rather than keyed by `(EdgeId, Value)` so the insert-side
     /// lookup can borrow the inserted tuple's value — no clone, no
-    /// allocation on the store hot path.)
-    keyed: HashMap<EdgeId, HashMap<Value, Vec<PendingProber>>>,
+    /// allocation on the store hot path. Fx-hashed: the keys are trusted
+    /// join-key values, and the lookup runs once per symmetric insert.)
+    keyed: FxHashMap<EdgeId, FxHashMap<Value, Vec<PendingProber>>>,
     /// Probers that could not be keyed; matched by full scan.
     unkeyed: Vec<PendingProber>,
     /// Stored-side accessor of the keying predicate per registered edge
@@ -180,11 +181,11 @@ fn emit_result(
 pub(crate) struct ShardState {
     workers: usize,
     plan: Arc<TopologyPlan>,
-    stores: HashMap<StoreId, StoreInstance>,
+    stores: FxHashMap<StoreId, StoreInstance>,
     /// Forward-fed stores requiring symmetric probing.
     symmetric: Arc<HashSet<StoreId>>,
     /// Pending probers per forward-fed store, indexed by join-key value.
-    pending: HashMap<StoreId, PendingSet>,
+    pending: FxHashMap<StoreId, PendingSet>,
     epoch: EpochConfig,
     /// Metrics delta since the last collection barrier.
     pub metrics: EngineMetrics,
@@ -213,9 +214,9 @@ impl ShardState {
         let mut shard = ShardState {
             workers,
             plan: Arc::new(TopologyPlan::default()),
-            stores: HashMap::new(),
+            stores: FxHashMap::default(),
             symmetric: Arc::new(HashSet::new()),
-            pending: HashMap::new(),
+            pending: FxHashMap::default(),
             epoch,
             metrics: EngineMetrics::default(),
             stats: StatsCollector::new(epoch.length),

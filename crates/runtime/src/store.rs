@@ -1,18 +1,31 @@
 //! Partitioned, epoch-versioned relation stores with hash indexes.
 //!
-//! The probe hot path is allocation-light: candidate lookups borrow the
-//! index posting lists instead of cloning them (unindexed attributes
-//! return a scan *marker*, never a materialized `0..len` vector), probe
-//! predicates are resolved to positional [`SlotAccessor`]s once per probe,
-//! and window expiry retains tuples in place while repairing the hash
-//! indexes incrementally via an old→new offset remap — no drain-and-rebuild.
+//! The probe hot path is allocation- and hash-lean: candidate lookups
+//! borrow the index posting lists instead of cloning them (unindexed
+//! attributes return a scan *marker*, never a materialized `0..len`
+//! vector), probe predicates are resolved to positional [`SlotAccessor`]s
+//! once per probe, and window expiry retains tuples in place while
+//! repairing the hash indexes incrementally via an old→new offset remap —
+//! no drain-and-rebuild.
+//!
+//! Hashing cost is kept off the per-tuple path three ways:
+//!
+//! * the per-value maps hash with [`clash_common::FxHasher`] instead of
+//!   SipHash (trusted keys — see the fxhash module docs),
+//! * the *outer* per-attribute level is not a map at all: a store indexes
+//!   a handful of attributes, so each epoch container keeps its value
+//!   maps in a `Vec` positionally aligned with the store's
+//!   `indexed_attrs`, and probes resolve their attribute to a position
+//!   **once** instead of re-hashing an `AttrRef` per epoch, and
+//! * posting lists are small-inline ([`PostingList`]): a distinct
+//!   join-key value only costs a heap allocation once it exceeds
+//!   [`clash_common::INLINE_POSTINGS`] matches.
 
-use clash_common::{AttrRef, Epoch, SlotAccessor, Timestamp, Tuple, Value, Window};
+use clash_common::{
+    fx_hash, AttrRef, Epoch, FxHashMap, PostingList, SlotAccessor, Timestamp, Tuple, Value, Window,
+};
 use clash_optimizer::StoreDescriptor;
 use clash_query::EquiPredicate;
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 
 /// An attribute a store maintains a hash index over, with its precomputed
 /// positional accessor (resolved once per store, reused for every insert
@@ -55,20 +68,28 @@ struct EpochContainer {
     /// (parallel runtime; `0` for the sequential engine, which needs no
     /// ordering guard beyond timestamps).
     seqs: Vec<u64>,
-    /// attribute -> value -> indices into `tuples`.
-    indexes: HashMap<AttrRef, HashMap<Value, Vec<usize>>>,
+    /// Per-attribute value indexes, positionally aligned with the store's
+    /// `indexed_attrs` (inserting keys by position avoids hashing an
+    /// `AttrRef` per index entry; the value maps use the Fx hasher and
+    /// inline posting lists).
+    indexes: Vec<FxHashMap<Value, PostingList>>,
     bytes: usize,
 }
 
 impl EpochContainer {
     fn insert(&mut self, tuple: Tuple, seq: u64, indexed_attrs: &[IndexedAttr]) {
+        if self.indexes.len() < indexed_attrs.len() {
+            self.indexes
+                .resize_with(indexed_attrs.len(), FxHashMap::default);
+        }
         let idx = self.tuples.len();
         self.bytes += tuple.approx_size_bytes();
-        for indexed in indexed_attrs {
+        for (pos, indexed) in indexed_attrs.iter().enumerate() {
             if let Some(value) = indexed.slot.get(&tuple) {
-                self.indexes
-                    .entry(indexed.attr)
-                    .or_default()
+                // Index keys are cheap clones: `Value::Str` shares its
+                // `Arc<str>` with the stored tuple, never reallocating the
+                // string payload.
+                self.indexes[pos]
                     .entry(value.clone())
                     .or_default()
                     .push(idx);
@@ -78,39 +99,77 @@ impl EpochContainer {
         self.seqs.push(seq);
     }
 
-    /// Candidate matches via the index on `attr`; borrowed, never cloned.
-    fn candidates(&self, attr: &AttrRef, value: &Value) -> Candidates<'_> {
-        match self.indexes.get(attr) {
+    /// Candidate matches via the index at attribute position `pos`
+    /// (resolved once per probe); borrowed, never cloned.
+    fn candidates(&self, pos: usize, value: &Value) -> Candidates<'_> {
+        match self.indexes.get(pos) {
             Some(by_value) => match by_value.get(value) {
-                Some(postings) => Candidates::Hit(postings),
+                Some(postings) => Candidates::Hit(postings.as_slice()),
                 None => Candidates::Miss,
             },
+            // Containers always carry every registered index (inserts
+            // extend, `add_indexed_attr` backfills); a missing position
+            // means the attribute is not indexed at all.
             None => Candidates::Scan,
         }
     }
 
     /// Drops tuples older than `horizon`, retaining survivors in place and
     /// repairing the hash indexes incrementally: posting lists keep their
-    /// entries for surviving tuples, remapped through the old→new offset
-    /// table, instead of being cleared and rebuilt from scratch.
+    /// entries for surviving tuples, remapped to their new offsets instead
+    /// of being cleared and rebuilt from scratch.
+    ///
+    /// Fast path: when the expired tuples form a *prefix* of the container
+    /// (every expired tuple precedes every survivor — the steady state for
+    /// in-order streams, where arrival order and timestamp order agree),
+    /// the remap is a constant subtraction: tuples and seqs shift down via
+    /// one `drain` memmove and postings remap with `idx - cutoff`, with no
+    /// per-tuple offset table built or consulted. Out-of-order containers
+    /// fall back to the general table-driven remap.
     fn expire(&mut self, horizon: Timestamp) -> usize {
         let before = self.tuples.len();
-        // Old index -> new index for survivors; EXPIRED for the rest.
+        // One scan: count expired tuples, account their bytes, and find
+        // the first survivor — the expired set is a prefix iff the first
+        // survivor's offset equals the expired count.
+        let mut expired = 0usize;
+        let mut freed_bytes = 0usize;
+        let mut first_survivor = before;
+        for (idx, tuple) in self.tuples.iter().enumerate() {
+            if tuple.ts < horizon {
+                expired += 1;
+                freed_bytes += tuple.approx_size_bytes();
+            } else if first_survivor == before {
+                first_survivor = idx;
+            }
+        }
+        if expired == 0 {
+            return 0;
+        }
+        self.bytes -= freed_bytes;
+        if first_survivor == expired {
+            // Prefix case: survivors keep their order, offsets shift by a
+            // constant.
+            self.tuples.drain(..expired);
+            self.seqs.drain(..expired);
+            for by_value in &mut self.indexes {
+                by_value.retain(|_, postings| {
+                    postings.retain_map(|idx| idx.checked_sub(expired));
+                    !postings.is_empty()
+                });
+            }
+            return expired;
+        }
+        // General case: build the old → new offset table.
         const EXPIRED: usize = usize::MAX;
         let mut remap: Vec<usize> = Vec::with_capacity(before);
         let mut kept = 0usize;
-        let mut freed_bytes = 0usize;
         for tuple in &self.tuples {
             if tuple.ts >= horizon {
                 remap.push(kept);
                 kept += 1;
             } else {
                 remap.push(EXPIRED);
-                freed_bytes += tuple.approx_size_bytes();
             }
-        }
-        if kept == before {
-            return 0;
         }
         let mut old_idx = 0usize;
         self.tuples.retain(|_| {
@@ -124,24 +183,25 @@ impl EpochContainer {
             old_idx += 1;
             keep
         });
-        self.bytes -= freed_bytes;
-        for by_value in self.indexes.values_mut() {
+        for by_value in &mut self.indexes {
             by_value.retain(|_, postings| {
-                postings.retain_mut(|idx| {
-                    let new_idx = remap[*idx];
-                    *idx = new_idx;
-                    new_idx != EXPIRED
+                postings.retain_map(|idx| {
+                    let new_idx = remap[idx];
+                    (new_idx != EXPIRED).then_some(new_idx)
                 });
                 !postings.is_empty()
             });
         }
-        before - kept
+        expired
     }
 
-    /// Builds the index for one attribute over the stored tuples (used
-    /// when a later-installed plan probes on a new attribute).
-    fn index_attr(&mut self, indexed: &IndexedAttr) {
-        let by_value = self.indexes.entry(indexed.attr).or_default();
+    /// Builds the index at attribute position `pos` over the stored tuples
+    /// (used when a later-installed plan probes on a new attribute).
+    fn index_attr(&mut self, pos: usize, indexed: &IndexedAttr) {
+        if self.indexes.len() <= pos {
+            self.indexes.resize_with(pos + 1, FxHashMap::default);
+        }
+        let by_value = &mut self.indexes[pos];
         by_value.clear();
         for (idx, tuple) in self.tuples.iter().enumerate() {
             if let Some(value) = indexed.slot.get(tuple) {
@@ -164,24 +224,25 @@ pub struct StoreInstance {
     /// Attributes indexed for probing, with precomputed slot accessors.
     indexed_attrs: Vec<IndexedAttr>,
     /// partition -> epoch -> container.
-    partitions: Vec<HashMap<Epoch, EpochContainer>>,
+    partitions: Vec<FxHashMap<Epoch, EpochContainer>>,
 }
 
-/// Hash used for partition routing (stable across the process).
+/// Hash used for partition routing (stable across the process — and, with
+/// the deterministic Fx hasher, across processes too). The router pays
+/// this per routed tuple, so it must not cost a keyed SipHash: routing
+/// keys are trusted internal values, making the fast hasher safe here.
 pub fn partition_hash(value: &Value, parallelism: usize) -> usize {
     if parallelism <= 1 {
         return 0;
     }
-    let mut h = DefaultHasher::new();
-    value.hash(&mut h);
-    (h.finish() as usize) % parallelism
+    (fx_hash(value) as usize) % parallelism
 }
 
 impl StoreInstance {
     /// Creates an empty store.
     pub fn new(descriptor: StoreDescriptor, window: Window, indexed_attrs: Vec<AttrRef>) -> Self {
         let partitions = (0..descriptor.parallelism.max(1))
-            .map(|_| HashMap::new())
+            .map(|_| FxHashMap::default())
             .collect();
         StoreInstance {
             descriptor,
@@ -200,9 +261,10 @@ impl StoreInstance {
         }
         let indexed = IndexedAttr::new(attr);
         self.indexed_attrs.push(indexed);
+        let pos = self.indexed_attrs.len() - 1;
         for partition in &mut self.partitions {
             for container in partition.values_mut() {
-                container.index_attr(&indexed);
+                container.index_attr(pos, &indexed);
             }
         }
     }
@@ -295,21 +357,44 @@ impl StoreInstance {
         // Resolve, per predicate, which side belongs to the stored relation
         // (as a positional accessor) and which value the probing tuple
         // supplies; probe values are borrowed, never cloned.
-        let mut resolved: Vec<(AttrRef, SlotAccessor, &Value)> =
-            Vec::with_capacity(predicates.len());
+        let mut resolved: Vec<(SlotAccessor, &Value)> = Vec::with_capacity(predicates.len());
+        let mut first_stored: Option<AttrRef> = None;
         for (stored_side, probe_side) in self.predicate_sides(predicates) {
             match SlotAccessor::of(&probe_side).get(probe) {
-                Some(v) => resolved.push((stored_side, SlotAccessor::of(&stored_side), v)),
+                Some(v) => {
+                    first_stored.get_or_insert(stored_side);
+                    resolved.push((SlotAccessor::of(&stored_side), v));
+                }
                 None => return results,
             }
         }
+        // `Null` never `join_eq`-matches anything: a probe carrying a Null
+        // predicate value is answered empty without touching state.
+        if resolved.iter().any(|(_, v)| v.is_null()) {
+            return results;
+        }
+        // The index position of the driving predicate's stored-side
+        // attribute, resolved once per probe (not re-hashed per epoch).
+        let index_pos: Option<usize> =
+            first_stored.and_then(|attr| self.indexed_attrs.iter().position(|i| i.attr == attr));
         for epoch in epochs {
             let Some(container) = self.partitions[p].get(epoch) else {
                 continue;
             };
+            let candidates = match (index_pos, resolved.first()) {
+                (Some(pos), Some((_, value))) => container.candidates(pos, value),
+                _ => Candidates::Scan,
+            };
+            if let Candidates::Hit(postings) = &candidates {
+                results.reserve(postings.len());
+            }
             // One shared match check, statically dispatched from both the
-            // indexed and the scan path.
-            let mut consider = |idx: usize| {
+            // indexed and the scan path. `checks` lists the predicates
+            // still to verify per candidate: an index *hit* already proves
+            // the driving predicate (the index key equals the probe value,
+            // both non-Null, and map equality coincides with `join_eq` for
+            // non-Null values), so hit candidates skip it.
+            let mut consider = |idx: usize, checks: &[(SlotAccessor, &Value)]| {
                 let stored = &container.tuples[idx];
                 // Only earlier-arrived tuples join (the probing tuple is the
                 // latest constituent of the result) and the window must hold.
@@ -321,7 +406,7 @@ impl StoreInstance {
                         return;
                     }
                 }
-                for (_, stored_slot, value) in &resolved {
+                for (stored_slot, value) in checks {
                     match stored_slot.get(stored) {
                         Some(v) if v.join_eq(value) => {}
                         _ => return,
@@ -329,20 +414,16 @@ impl StoreInstance {
                 }
                 results.push(stored.clone());
             };
-            let candidates = match resolved.first() {
-                Some((attr, _, value)) => container.candidates(attr, value),
-                None => Candidates::Scan,
-            };
             match candidates {
                 Candidates::Miss => {}
                 Candidates::Hit(postings) => {
                     for &idx in postings {
-                        consider(idx);
+                        consider(idx, &resolved[1..]);
                     }
                 }
                 Candidates::Scan => {
                     for idx in 0..container.tuples.len() {
-                        consider(idx);
+                        consider(idx, &resolved);
                     }
                 }
             }
@@ -560,6 +641,40 @@ mod tests {
         assert_eq!(
             store.probe(0, &[Epoch(0)], &probe, &[pred_ra_sa()]).len(),
             (9..12).filter(|i| i % 3 == 0).count()
+        );
+    }
+
+    #[test]
+    fn out_of_order_expiry_uses_the_general_remap_and_stays_consistent() {
+        // Timestamps deliberately interleave so the expired set is NOT a
+        // prefix of the container: survivors precede expired tuples.
+        let mut store = s_store(1);
+        let timestamps = [9_000u64, 100, 8_500, 200, 9_500, 300, 8_800, 400];
+        for (i, ts) in timestamps.iter().enumerate() {
+            store.insert(0, Epoch(0), s_tuple((i % 2) as i64, i as i64, *ts));
+        }
+        let removed = store.expire(Timestamp::from_millis(1_000));
+        assert_eq!(removed, 4, "the four small timestamps expire");
+        assert_eq!(store.len(), 4);
+        // Index-driven probes still find exactly the surviving tuples
+        // (probe at 10s: every survivor is inside the 10s window).
+        let probe = r_tuple(0, 10_000);
+        let survivors_key0 = timestamps
+            .iter()
+            .enumerate()
+            .filter(|(i, ts)| **ts >= 1_000 && i % 2 == 0)
+            .count();
+        assert_eq!(
+            store.probe(0, &[Epoch(0)], &probe, &[pred_ra_sa()]).len(),
+            survivors_key0
+        );
+        // A second, again non-prefix expiry over the repaired state.
+        assert_eq!(store.expire(Timestamp::from_millis(8_900)), 2);
+        let probe = r_tuple(0, 10_000);
+        assert_eq!(
+            store.probe(0, &[Epoch(0)], &probe, &[pred_ra_sa()]).len(),
+            2,
+            "the ts=9000 and ts=9500 tuples (key 0) survive"
         );
     }
 
