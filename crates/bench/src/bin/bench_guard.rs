@@ -1,6 +1,7 @@
 //! Bench regression guard: fails when `BENCH_hotpath.json` reports a
-//! micro-row speedup below its checked-in floor (`ci/bench_floors.json`)
-//! or an ingest allocation count above the allowed ceiling.
+//! micro-row speedup below its checked-in floor (`ci/bench_floors.json`),
+//! an ingest allocation count above the allowed ceiling, or a telemetry
+//! throughput ratio below the overhead floor.
 //!
 //! Usage:
 //!   cargo run -p clash-bench --bin bench_guard -- \
@@ -143,6 +144,32 @@ fn main() -> ExitCode {
             }
         }
         _ => violations.push("alloc reduction metric or floor missing".to_string()),
+    }
+
+    // Telemetry overhead: always-on tracing must keep the traced/untraced
+    // throughput ratio above the floor (0.97 = at most a 3% hot-path
+    // tax). A timing metric, so like the micro floors it is only held
+    // against the committed report, not the noisy CI-fresh one.
+    if !allocs_only {
+        let ratio = report
+            .find("\"telemetry\"")
+            .and_then(|at| number_after(&report, "throughput_ratio", at).map(|(v, _)| v));
+        let floor = number_after(&floors, "min_telemetry_throughput_ratio", 0).map(|(v, _)| v);
+        match (ratio, floor) {
+            (Some(got), Some(floor)) => {
+                checks += 1;
+                if got >= floor {
+                    println!("ok    telemetry overhead: ratio {got:.3} >= floor {floor:.3}");
+                } else {
+                    violations.push(format!(
+                        "telemetry throughput ratio {got:.3} fell below the {floor:.3} floor \
+                         (tracing costs more than {:.1}%)",
+                        (1.0 - floor) * 100.0
+                    ));
+                }
+            }
+            _ => violations.push("telemetry throughput ratio or floor missing".to_string()),
+        }
     }
 
     if violations.is_empty() {

@@ -25,6 +25,11 @@ pub struct Fig7Row {
     pub memory_mb: f64,
     /// Mean end-to-end result latency in milliseconds (Fig. 7d).
     pub latency_ms: f64,
+    /// Median end-to-end result latency in milliseconds.
+    pub latency_p50_ms: f64,
+    /// 99th-percentile end-to-end result latency in milliseconds — the
+    /// tail Fig. 7d actually argues about, from the mergeable histogram.
+    pub latency_p99_ms: f64,
     /// Total join results produced (sanity check: equal across strategies).
     pub results: u64,
     /// Tuple copies sent between stores (the optimized probe cost).
@@ -69,6 +74,8 @@ pub fn run_fig7(num_queries: usize, num_tuples: usize, scale: f64, seed: u64) ->
             throughput_tps: snap.throughput_tps,
             memory_mb: snap.store_bytes as f64 / (1024.0 * 1024.0),
             latency_ms: snap.latency.mean_us / 1000.0,
+            latency_p50_ms: snap.latency.p50_us / 1000.0,
+            latency_p99_ms: snap.latency.p99_us / 1000.0,
             results: snap.total_results(),
             tuples_sent: snap.tuples_sent,
         });
@@ -223,6 +230,15 @@ mod tests {
         // Shape of Fig. 7b: sharing does not send more tuple copies than
         // independent execution.
         assert!(cmqo.tuples_sent <= independent.tuples_sent);
+        // The latency quantiles come from the histogram and are ordered.
+        for row in &rows {
+            assert!(row.latency_p50_ms > 0.0, "{}: p50 missing", row.strategy);
+            assert!(
+                row.latency_p99_ms >= row.latency_p50_ms,
+                "{}: p99 below p50",
+                row.strategy
+            );
+        }
     }
 
     #[test]

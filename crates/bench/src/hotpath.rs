@@ -32,6 +32,11 @@
 //! identical result counts and reporting wall-clock throughput plus the
 //! worker busy-balance (the hardware-independent parallelism evidence on
 //! a single-core runner).
+//!
+//! The telemetry section replays the Fig. 7 workload with the trace ring
+//! disabled and enabled, reporting the throughput ratio the bench guard
+//! holds above its floor: always-on tracing must stay within a few
+//! percent of the untraced hot path.
 
 use crate::allocs::AllocSpan;
 use crate::fig7::{run_fig7, Fig7Row};
@@ -40,10 +45,11 @@ use clash_common::{
     AttrId, AttrRef, Epoch, LeafLayout, QueryId, RelationId, RelationSet, Schema, SlotAccessor,
     Timestamp, Tuple, TupleBuilder, Value, Window,
 };
-use clash_optimizer::{Planner, StoreDescriptor, Strategy};
+use clash_datagen::{TpchGenerator, TpchWorkload};
+use clash_optimizer::{Planner, PlannerConfig, StoreDescriptor, Strategy};
 use clash_query::{parse_query, EquiPredicate};
 use clash_runtime::store::{partition_hash, StoreInstance};
-use clash_runtime::{EngineConfig, ParallelEngine};
+use clash_runtime::{EngineConfig, LocalEngine, ParallelEngine};
 use std::time::Instant;
 
 /// Every suite takes the best of this many timed runs.
@@ -324,6 +330,8 @@ pub struct HotpathReport {
     pub multi_source: Vec<MultiSourceRow>,
     /// Reconfiguration rows (install-free baseline + cadence sweep).
     pub reconfig: Vec<ReconfigRow>,
+    /// Telemetry overhead row (trace ring off vs. on, same workload).
+    pub telemetry: TelemetryOverheadRow,
 }
 
 fn best_of<F: FnMut() -> f64>(mut run: F) -> f64 {
@@ -943,6 +951,11 @@ pub struct MultiSourceRow {
     /// End-to-end wall-clock throughput in tuples per second (ingest
     /// start to drain end).
     pub wall_tps: f64,
+    /// Median per-result ingest-to-emit latency in milliseconds (from
+    /// the merged per-worker histograms).
+    pub latency_p50_ms: f64,
+    /// 99th-percentile per-result ingest-to-emit latency in milliseconds.
+    pub latency_p99_ms: f64,
     /// Total join results produced (asserted identical across rows).
     pub results: u64,
     /// Largest single worker's share of total worker busy time (0.25 is a
@@ -1055,6 +1068,8 @@ pub fn run_multi_source(total: usize, source_counts: &[usize]) -> Vec<MultiSourc
             producer_threads: 0,
             tuples: total,
             wall_tps: total as f64 / elapsed,
+            latency_p50_ms: snap.latency.p50_us / 1000.0,
+            latency_p99_ms: snap.latency.p99_us / 1000.0,
             results,
             busy_balance: busy_balance(&engine),
         };
@@ -1141,6 +1156,8 @@ pub fn run_multi_source(total: usize, source_counts: &[usize]) -> Vec<MultiSourc
                 producer_threads,
                 tuples: total,
                 wall_tps: total as f64 / elapsed,
+                latency_p50_ms: snap.latency.p50_us / 1000.0,
+                latency_p99_ms: snap.latency.p99_us / 1000.0,
                 results: snap.total_results(),
                 busy_balance: busy_balance(&engine),
             };
@@ -1279,6 +1296,94 @@ fn busy_balance(engine: &ParallelEngine) -> f64 {
     }
 }
 
+/// Telemetry overhead on the ingest hot path: the Fig. 7 five-query
+/// workload replayed on the sequential engine with the trace ring
+/// disabled (`trace_capacity = 0`, the one-branch fast path) and enabled
+/// (the default capacity, every event paying its ring write), best of
+/// [`BEST_OF`] each. The ratio is what `bench_guard` holds above the
+/// floor in `ci/bench_floors.json`: tracing must stay within a few
+/// percent of the untraced throughput, or it is not always-on telemetry.
+#[derive(Debug, Clone, Copy)]
+pub struct TelemetryOverheadRow {
+    /// Input stream length.
+    pub tuples: usize,
+    /// Wall-clock throughput with the trace ring disabled (tuples/sec).
+    pub untraced_tps: f64,
+    /// Wall-clock throughput with the default trace ring (tuples/sec).
+    pub traced_tps: f64,
+    /// Events left in the ring after the traced run (caps at the ring
+    /// capacity; nonzero proves the traced run actually recorded).
+    pub trace_events: usize,
+}
+
+impl TelemetryOverheadRow {
+    /// traced / untraced throughput: 1.0 means tracing is free, 0.97
+    /// means a 3% hot-path tax.
+    pub fn throughput_ratio(&self) -> f64 {
+        if self.untraced_tps > 0.0 {
+            self.traced_tps / self.untraced_tps
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs the telemetry overhead scenario. Asserts the traced and untraced
+/// runs produce identical result counts (observation must not perturb
+/// the join) and that the traced run recorded events.
+pub fn run_telemetry_overhead(num_tuples: usize) -> TelemetryOverheadRow {
+    let workload = TpchWorkload::new(2, Window::secs(3600)).expect("workload");
+    let queries = workload.five_queries().expect("queries");
+    let planner = Planner::new(&workload.catalog, &workload.stats, PlannerConfig::default());
+    let report = planner.plan(&queries, Strategy::GlobalIlp).expect("plan");
+    let mut generator = TpchGenerator::new(0.002, 42);
+    let stream = generator
+        .mixed_stream(&workload, num_tuples)
+        .expect("stream");
+
+    let mut expected: Option<u64> = None;
+    let mut trace_events = 0usize;
+    let mut tps = [0.0f64; 2];
+    for (which, capacity) in [0usize, EngineConfig::default().trace_capacity]
+        .into_iter()
+        .enumerate()
+    {
+        for _ in 0..BEST_OF {
+            let config = EngineConfig {
+                trace_capacity: capacity,
+                ..EngineConfig::default()
+            };
+            let mut engine =
+                LocalEngine::new(workload.catalog.clone(), report.plan.clone(), config);
+            let started = Instant::now();
+            for (relation, tuple) in &stream {
+                engine.ingest(*relation, tuple.clone()).expect("ingest");
+            }
+            let elapsed = started.elapsed().as_secs_f64();
+            let results = engine.snapshot().total_results();
+            assert_eq!(
+                *expected.get_or_insert(results),
+                results,
+                "tracing changed the result count (capacity {capacity})"
+            );
+            let events = engine.drain_trace().len();
+            if capacity == 0 {
+                assert_eq!(events, 0, "disabled ring must record nothing");
+            } else {
+                assert!(events > 0, "enabled ring recorded nothing");
+                trace_events = trace_events.max(events);
+            }
+            tps[which] = tps[which].max(num_tuples as f64 / elapsed);
+        }
+    }
+    TelemetryOverheadRow {
+        tuples: num_tuples,
+        untraced_tps: tps[0],
+        traced_tps: tps[1],
+        trace_events,
+    }
+}
+
 /// Runs every suite plus the Fig. 7 end-to-end replay and the
 /// multi-source ingestion scenario.
 pub fn run_hotpath(iters: usize, fig7_tuples: usize) -> HotpathReport {
@@ -1297,6 +1402,7 @@ pub fn run_hotpath(iters: usize, fig7_tuples: usize) -> HotpathReport {
     let multi_source = run_multi_source(fig7_tuples.clamp(1_000, 100_000), &[1, 2, 4]);
     let reconfig_total = fig7_tuples.clamp(1_000, 100_000);
     let reconfig = run_reconfig(reconfig_total, &[reconfig_total / 4, reconfig_total / 16]);
+    let telemetry = run_telemetry_overhead(fig7_tuples.clamp(1_000, 100_000));
     HotpathReport {
         iters,
         fig7_tuples,
@@ -1305,6 +1411,7 @@ pub fn run_hotpath(iters: usize, fig7_tuples: usize) -> HotpathReport {
         fig7,
         multi_source,
         reconfig,
+        telemetry,
     }
 }
 
@@ -1345,12 +1452,15 @@ pub fn report_to_json(report: &HotpathReport) -> String {
     for (i, row) in report.fig7.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"num_queries\": {}, \"strategy\": \"{}\", \"throughput_tps\": {:.1}, \
-             \"memory_mb\": {:.3}, \"latency_ms\": {:.3}, \"results\": {}, \"tuples_sent\": {}}}{}\n",
+             \"memory_mb\": {:.3}, \"latency_ms\": {:.3}, \"latency_p50_ms\": {:.3}, \
+             \"latency_p99_ms\": {:.3}, \"results\": {}, \"tuples_sent\": {}}}{}\n",
             row.num_queries,
             row.strategy,
             row.throughput_tps,
             row.memory_mb,
             row.latency_ms,
+            row.latency_p50_ms,
+            row.latency_p99_ms,
             row.results,
             row.tuples_sent,
             if i + 1 < report.fig7.len() { "," } else { "" }
@@ -1362,12 +1472,15 @@ pub fn report_to_json(report: &HotpathReport) -> String {
         out.push_str(&format!(
             "    {{\"mode\": \"{}\", \"sources\": {}, \"producer_threads\": {}, \
              \"tuples\": {}, \"wall_tps\": {:.1}, \
+             \"latency_p50_ms\": {:.3}, \"latency_p99_ms\": {:.3}, \
              \"results\": {}, \"busy_balance\": {:.3}}}{}\n",
             row.mode,
             row.sources,
             row.producer_threads,
             row.tuples,
             row.wall_tps,
+            row.latency_p50_ms,
+            row.latency_p99_ms,
             row.results,
             row.busy_balance,
             if i + 1 < report.multi_source.len() {
@@ -1395,7 +1508,16 @@ pub fn report_to_json(report: &HotpathReport) -> String {
             }
         ));
     }
-    out.push_str("  ]\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"telemetry\": {{\"tuples\": {}, \"untraced_tps\": {:.1}, \"traced_tps\": {:.1}, \
+         \"throughput_ratio\": {:.3}, \"trace_events\": {}}}\n",
+        report.telemetry.tuples,
+        report.telemetry.untraced_tps,
+        report.telemetry.traced_tps,
+        report.telemetry.throughput_ratio(),
+        report.telemetry.trace_events
+    ));
     out.push_str("}\n");
     out
 }
@@ -1486,6 +1608,17 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_overhead_row_is_consistent() {
+        // Small stream: validates the identical-results assertion inside
+        // the scenario plus the row plumbing, not timings.
+        let row = run_telemetry_overhead(1_500);
+        assert_eq!(row.tuples, 1_500);
+        assert!(row.untraced_tps > 0.0 && row.traced_tps > 0.0);
+        assert!(row.throughput_ratio() > 0.0);
+        assert!(row.trace_events > 0, "traced run must record events");
+    }
+
+    #[test]
     fn json_report_is_well_formed() {
         let report = HotpathReport {
             iters: 10,
@@ -1508,6 +1641,8 @@ mod tests {
                 producer_threads: 1,
                 tuples: 100,
                 wall_tps: 10.0,
+                latency_p50_ms: 0.2,
+                latency_p99_ms: 0.9,
                 results: 5,
                 busy_balance: 0.5,
             }],
@@ -1518,6 +1653,12 @@ mod tests {
                 wall_tps: 10.0,
                 results: 5,
             }],
+            telemetry: TelemetryOverheadRow {
+                tuples: 100,
+                untraced_tps: 100.0,
+                traced_tps: 99.0,
+                trace_events: 42,
+            },
         };
         let json = report_to_json(&report);
         assert!(json.contains("\"speedup\": 2.000"));
@@ -1529,6 +1670,11 @@ mod tests {
         assert!(json.contains("\"busy_balance\": 0.500"));
         assert!(json.contains("\"reconfig\""));
         assert!(json.contains("\"installs_every\": 64"));
+        assert!(json.contains("\"latency_p50_ms\": 0.200"));
+        assert!(json.contains("\"latency_p99_ms\": 0.900"));
+        assert!(json.contains("\"telemetry\""));
+        assert!(json.contains("\"throughput_ratio\": 0.990"));
+        assert!(json.contains("\"trace_events\": 42"));
         // Balanced braces/brackets (no serde_json in the offline build).
         assert_eq!(
             json.matches('{').count(),

@@ -18,6 +18,7 @@ pub mod ids;
 pub mod postings;
 pub mod relation_set;
 pub mod schema;
+pub mod telemetry;
 pub mod time;
 pub mod tuple;
 pub mod value;
@@ -29,6 +30,10 @@ pub use ids::{AttrId, EdgeId, QueryId, RelationId, StoreId, WorkerId};
 pub use postings::{PostingList, INLINE_POSTINGS};
 pub use relation_set::RelationSet;
 pub use schema::{AttrRef, Attribute, Schema, SchemaRef};
+pub use telemetry::{
+    chrome_trace_json, trace_clock_us, Exposition, LatencyHistogram, TraceEvent, TraceEventKind,
+    TraceRing,
+};
 pub use time::{Duration, Epoch, EpochConfig, Timestamp, Window};
 pub use tuple::{LeafLayout, SlotAccessor, Tuple, TupleBuilder, TupleIter, MAX_ATTRS_PER_RELATION};
 pub use value::Value;

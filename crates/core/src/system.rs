@@ -75,6 +75,20 @@ impl EngineHandle {
             EngineHandle::Parallel(e) => e.results(),
         }
     }
+
+    fn telemetry_snapshot(&mut self) -> String {
+        match self {
+            EngineHandle::Local(e) => e.telemetry_snapshot(),
+            EngineHandle::Parallel(e) => e.telemetry_snapshot(),
+        }
+    }
+
+    fn trace_json(&mut self) -> String {
+        match self {
+            EngineHandle::Local(e) => e.trace_json(),
+            EngineHandle::Parallel(e) => e.trace_json(),
+        }
+    }
 }
 
 /// Locks the shared controller, recovering from poisoning (a panicked
@@ -350,6 +364,43 @@ impl ClashSystem {
             .as_ref()
             .map(|e| e.results())
             .unwrap_or_default()
+    }
+
+    /// Renders the deployed engine's telemetry page (Prometheus-style
+    /// text): engine counters, per-query and (on the parallel runtime)
+    /// per-shard latency quantiles, per-store gauges, arena counters —
+    /// plus the system-level reconfiguration count. Runs a barrier first
+    /// on the parallel runtime, so the page covers everything ingested.
+    pub fn telemetry_snapshot(&mut self) -> Result<String> {
+        let engine = self
+            .engine
+            .as_mut()
+            .ok_or_else(|| ClashError::Runtime("system not deployed".into()))?;
+        let mut page = engine.telemetry_snapshot();
+        page.push_str(
+            "# HELP clash_reconfigurations_total Reconfigurations installed \
+             by the adaptive controller.\n# TYPE clash_reconfigurations_total \
+             counter\n",
+        );
+        page.push_str(&format!(
+            "clash_reconfigurations_total {}\n",
+            self.controller
+                .as_ref()
+                .map(|c| lock_controller(c).reconfigurations)
+                .unwrap_or(0)
+        ));
+        Ok(page)
+    }
+
+    /// Drains the deployed engine's trace-event rings as Chrome
+    /// trace-event JSON (load in `chrome://tracing` or Perfetto). Empty
+    /// `traceEvents` when tracing is disabled
+    /// (`EngineConfig::trace_capacity == 0`).
+    pub fn trace_json(&mut self) -> Result<String> {
+        self.engine
+            .as_mut()
+            .map(|e| e.trace_json())
+            .ok_or_else(|| ClashError::Runtime("system not deployed".into()))
     }
 
     /// Number of reconfigurations the adaptive controller has installed.

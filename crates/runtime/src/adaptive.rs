@@ -36,6 +36,23 @@ impl Default for AdaptiveConfig {
     }
 }
 
+/// Cost-model output of one controller evaluation (telemetry surface:
+/// the epoch driver traces these so `ControllerDecision` events carry
+/// the inputs the decision was made on).
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerDecision {
+    /// Epoch whose statistics were evaluated.
+    pub epoch: Epoch,
+    /// Probe cost of the re-planned configuration (Eq. 1, shared).
+    pub shared_cost: f64,
+    /// Sum of the queries' individually-optimal costs (baseline).
+    pub individual_cost: f64,
+    /// Whether the evaluation scheduled a reconfiguration.
+    pub scheduled: bool,
+    /// Whether this boundary installed a (previously pending) plan.
+    pub installed: bool,
+}
+
 /// The adaptive controller: owns the query set and prior statistics and
 /// re-plans at epoch boundaries.
 #[derive(Debug)]
@@ -61,6 +78,8 @@ pub struct AdaptiveController {
     pending: Option<(Epoch, TopologyPlan)>,
     /// Number of reconfigurations actually installed.
     pub reconfigurations: usize,
+    /// Cost-model output of the most recent full evaluation (telemetry).
+    pub last_decision: Option<ControllerDecision>,
 }
 
 impl AdaptiveController {
@@ -84,6 +103,7 @@ impl AdaptiveController {
                 queries_dirty: false,
                 pending: None,
                 reconfigurations: 0,
+                last_decision: None,
             },
             report.plan,
         ))
@@ -177,7 +197,15 @@ impl AdaptiveController {
         let report = planner.plan(&self.queries, self.config.strategy)?;
 
         // Only schedule a rewiring when the configuration actually differs.
-        if report.plan != *engine.plan() {
+        let scheduled = report.plan != *engine.plan();
+        self.last_decision = Some(ControllerDecision {
+            epoch: finished,
+            shared_cost: report.shared_cost,
+            individual_cost: report.individual_cost,
+            scheduled,
+            installed,
+        });
+        if scheduled {
             self.pending = Some((current_epoch.next(), report.plan));
         }
         engine.stats_collector_mut().prune(finished);

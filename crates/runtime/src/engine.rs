@@ -15,7 +15,9 @@ use crate::stats_collector::StatsCollector;
 use crate::store::{partition_hash, StoreInstance};
 use clash_catalog::Catalog;
 use clash_common::{
-    ClashError, Epoch, EpochConfig, FxHashMap, QueryId, Result, StoreId, Timestamp, Tuple, Window,
+    arena_stats, chrome_trace_json, trace_clock_us, ClashError, Epoch, EpochConfig, Exposition,
+    FxHashMap, QueryId, Result, StoreId, Timestamp, TraceEvent, TraceEventKind, TraceRing, Tuple,
+    Window,
 };
 use clash_optimizer::{OutputAction, Rule, SendTarget, TopologyPlan};
 use std::collections::HashMap;
@@ -60,6 +62,11 @@ pub struct EngineConfig {
     /// barrier + re-planning) only runs when the clock crossed an epoch
     /// boundary. Clamped to `[100µs, 1s]`.
     pub epoch_tick: std::time::Duration,
+    /// Capacity of each thread's trace-event ring (ingest/probe/insert/
+    /// barrier/... events drainable as Chrome trace JSON). A full ring
+    /// overwrites its oldest events, so tracing can stay on permanently;
+    /// `0` disables tracing entirely (record calls reduce to one branch).
+    pub trace_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -72,6 +79,7 @@ impl Default for EngineConfig {
             micro_batch_max_delay: std::time::Duration::from_millis(5),
             max_inflight_roots: 1 << 16,
             epoch_tick: std::time::Duration::from_millis(1),
+            trace_capacity: 4096,
         }
     }
 }
@@ -156,6 +164,8 @@ pub struct LocalEngine {
     sink: Option<ResultSink>,
     max_ts: Timestamp,
     since_expiry: u64,
+    /// The engine thread's trace-event ring (lane 0).
+    trace: TraceRing,
 }
 
 impl std::fmt::Debug for LocalEngine {
@@ -183,6 +193,7 @@ impl LocalEngine {
             sink: None,
             max_ts: Timestamp::ZERO,
             since_expiry: 0,
+            trace: TraceRing::new(config.trace_capacity, 0),
         };
         engine.install_plan(plan);
         engine
@@ -222,6 +233,11 @@ impl LocalEngine {
         }
         self.stores = new_stores;
         self.plan = Arc::new(plan);
+        self.trace.record(
+            TraceEventKind::PlanInstall,
+            self.metrics.tuples_ingested,
+            self.plan.stores.len() as u64,
+        );
     }
 
     /// The currently installed plan.
@@ -262,6 +278,11 @@ impl LocalEngine {
         if self.catalog.relation(relation).is_err() {
             return Err(ClashError::unknown(format!("relation {relation}")));
         }
+        let trace_started = if self.trace.enabled() {
+            trace_clock_us()
+        } else {
+            0
+        };
         self.metrics.tuples_ingested += 1;
         self.max_ts = self.max_ts.max(tuple.ts);
         let epoch = self.config.epoch.epoch_of(tuple.ts);
@@ -281,6 +302,12 @@ impl LocalEngine {
         }
 
         self.metrics.busy += started.elapsed();
+        self.trace.record_span(
+            TraceEventKind::Ingest,
+            trace_started,
+            u64::from(relation.0),
+            emitted,
+        );
         self.since_expiry += 1;
         if self.config.expire_every > 0 && self.since_expiry >= self.config.expire_every {
             self.expire_stores();
@@ -337,6 +364,8 @@ impl LocalEngine {
                         store.partition_for(&tuple)
                     };
                     store.insert(p, epoch, tuple.clone());
+                    self.trace
+                        .record(TraceEventKind::Insert, u64::from(target.store.0), 0);
                 }
                 Rule::Probe {
                     predicates,
@@ -355,6 +384,11 @@ impl LocalEngine {
                         matches.extend(store.probe(p, &epochs, &tuple, predicates));
                     }
                     self.metrics.probes += 1;
+                    self.trace.record(
+                        TraceEventKind::Probe,
+                        u64::from(target.store.0),
+                        matches.len() as u64,
+                    );
                     self.stats
                         .record_probe(epoch, predicates, matches.len() as u64, store_size);
                     for matched in matches {
@@ -366,7 +400,8 @@ impl LocalEngine {
                                 OutputAction::Emit { query } => {
                                     emitted += 1;
                                     *self.metrics.results.entry(*query).or_default() += 1;
-                                    self.metrics.record_latency(ingest_started.elapsed());
+                                    self.metrics
+                                        .record_latency(*query, ingest_started.elapsed());
                                     if self.config.collect_results {
                                         self.results.push((*query, joined.clone()));
                                     }
@@ -393,6 +428,7 @@ impl LocalEngine {
             let horizon = store.window.horizon(self.max_ts);
             removed += store.expire(horizon);
         }
+        self.trace.record(TraceEventKind::Expire, removed as u64, 0);
         removed
     }
 
@@ -421,6 +457,7 @@ impl LocalEngine {
                 .map(|(q, n)| (q.0, *n))
                 .collect(),
             latency: self.metrics.latency(),
+            latency_per_query: self.metrics.latency_per_query_stats(),
             store_bytes: self.store_bytes(),
             store_tuples: self.store_tuples(),
             num_stores: self.stores.len(),
@@ -438,6 +475,49 @@ impl LocalEngine {
     pub fn reset_metrics(&mut self) {
         self.metrics = EngineMetrics::default();
         self.results.clear();
+    }
+
+    /// Takes every buffered trace event (record order), leaving the ring
+    /// empty. Empty when `EngineConfig::trace_capacity` is `0`.
+    pub fn drain_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.drain()
+    }
+
+    /// Drains the trace ring rendered as Chrome trace-event JSON
+    /// (loadable in `chrome://tracing` / Perfetto).
+    pub fn trace_json(&mut self) -> String {
+        chrome_trace_json(&self.drain_trace())
+    }
+
+    /// Renders the engine's current state as a Prometheus-style text
+    /// exposition page: counters, per-query result counts and latency
+    /// quantiles, the merged latency histogram, per-store size and index
+    /// gauges, and this thread's arena counters.
+    pub fn telemetry_snapshot(&self) -> String {
+        let mut page = Exposition::new();
+        crate::exposition::engine_sections(&mut page, &self.metrics);
+        let mut details: Vec<crate::parallel::shard::StoreDetail> = self
+            .stores
+            .iter()
+            .map(|(id, store)| {
+                let (posting_lists, spilled_postings) = store.posting_stats();
+                crate::parallel::shard::StoreDetail {
+                    store: *id,
+                    tuples: store.len(),
+                    bytes: store.bytes(),
+                    posting_lists,
+                    spilled_postings,
+                }
+            })
+            .collect();
+        details.sort_by_key(|d| d.store.0);
+        crate::exposition::store_sections(&mut page, &details);
+        let arena = arena_stats();
+        crate::exposition::arena_sections(
+            &mut page,
+            std::iter::once(("engine".to_string(), &arena)),
+        );
+        page.finish()
     }
 }
 

@@ -47,7 +47,7 @@ impl Flusher {
                     for slot in shared.slots() {
                         let mut inner = slot.inner.lock().expect("source slot");
                         if inner.buf.is_stale(max_delay) {
-                            inner.buf.flush(&senders);
+                            inner.flush(&senders);
                         }
                     }
                 }

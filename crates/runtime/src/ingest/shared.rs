@@ -5,7 +5,7 @@
 //! installs lossless under concurrent producers.
 
 use crate::ingest::source::SourceSlot;
-use crate::parallel::router::Progress;
+use crate::parallel::router::{DepthGauges, Progress};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -127,11 +127,15 @@ pub(crate) struct ControlShared {
     /// buffer plus one per open source — swept by the flusher and the
     /// admission/drain loops.
     pub sources: Mutex<Vec<Arc<SourceSlot>>>,
+    /// Per-worker channel-depth gauges shared by every batch buffer
+    /// (producers bump the enqueue side) and every worker thread (drain
+    /// side); read by the telemetry surface.
+    pub depth: Arc<DepthGauges>,
 }
 
 impl ControlShared {
-    /// Fresh state with an empty registry.
-    pub fn new() -> Self {
+    /// Fresh state with an empty registry, sized for `workers` channels.
+    pub fn new(workers: usize) -> Self {
         ControlShared {
             next_seq: AtomicU64::new(1),
             stream_clock: AtomicU64::new(0),
@@ -139,6 +143,7 @@ impl ControlShared {
             gate: QuiesceGate::default(),
             progress: Arc::new(Progress::default()),
             sources: Mutex::new(Vec::new()),
+            depth: Arc::new(DepthGauges::new(workers)),
         }
     }
 
@@ -209,7 +214,7 @@ mod tests {
 
     #[test]
     fn control_shared_clock_is_monotonic() {
-        let shared = ControlShared::new();
+        let shared = ControlShared::new(1);
         shared.advance_clock(50);
         shared.advance_clock(20);
         assert_eq!(shared.stream_clock.load(Ordering::Acquire), 50);

@@ -3,7 +3,7 @@
 
 use crate::ingest::shared::ControlShared;
 use crate::metrics::EngineMetrics;
-use crate::parallel::router::{route_root, BatchBuffer, RootHandle};
+use crate::parallel::router::{route_root, BatchBuffer, DepthGauges, RootHandle};
 use crate::parallel::worker::WorkerMsg;
 use crate::stats_collector::StatsCollector;
 use clash_catalog::Catalog;
@@ -37,6 +37,17 @@ pub(crate) struct SourceInner {
     pub closed: bool,
 }
 
+impl SourceInner {
+    /// Ships everything buffered, recording the flush age (how long the
+    /// oldest delivery waited) into this slot's metrics delta so the
+    /// engine's `flush_age` histogram sees every producer path.
+    pub fn flush(&mut self, senders: &[Sender<WorkerMsg>]) {
+        if let Some(age) = self.buf.flush(senders) {
+            self.metrics.flush_age.record(age);
+        }
+    }
+}
+
 /// One registered source: its slot state behind its own mutex.
 #[derive(Debug)]
 pub(crate) struct SourceSlot {
@@ -52,11 +63,12 @@ impl SourceSlot {
         workers: usize,
         micro_batch: usize,
         epoch: EpochConfig,
+        gauges: Arc<DepthGauges>,
     ) -> Self {
         SourceSlot {
             inner: Mutex::new(SourceInner {
                 plan,
-                buf: BatchBuffer::new(workers, micro_batch),
+                buf: BatchBuffer::new(workers, micro_batch, gauges),
                 metrics: EngineMetrics::default(),
                 stats: StatsCollector::new(epoch.length),
                 max_ts: Timestamp::ZERO,
@@ -67,7 +79,7 @@ impl SourceSlot {
 
     /// Ships everything currently buffered in this slot.
     pub fn flush_to(&self, senders: &[Sender<WorkerMsg>]) {
-        self.inner.lock().expect("source slot").buf.flush(senders);
+        self.inner.lock().expect("source slot").flush(senders);
     }
 }
 
@@ -186,7 +198,7 @@ impl SourceHandle {
             &mut inner.buf,
         );
         if inner.buf.is_full() || inner.buf.is_stale(self.max_delay) {
-            inner.buf.flush(&self.senders);
+            inner.flush(&self.senders);
         }
         Ok(seq)
     }
@@ -246,7 +258,7 @@ impl SourceHandle {
 impl Drop for SourceHandle {
     fn drop(&mut self) {
         let mut inner = self.slot.inner.lock().expect("source slot");
-        inner.buf.flush(&self.senders);
+        inner.flush(&self.senders);
         inner.closed = true;
     }
 }

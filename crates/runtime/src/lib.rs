@@ -37,13 +37,14 @@
 
 pub mod adaptive;
 pub mod engine;
+mod exposition;
 pub mod ingest;
 pub mod metrics;
 pub mod parallel;
 pub mod stats_collector;
 pub mod store;
 
-pub use adaptive::{AdaptiveConfig, AdaptiveController};
+pub use adaptive::{AdaptiveConfig, AdaptiveController, ControllerDecision};
 pub use engine::{EngineConfig, EngineControl, LocalEngine, ResultSink};
 pub use ingest::SourceHandle;
 pub use metrics::{EngineMetrics, LatencyStats, MetricsSnapshot};

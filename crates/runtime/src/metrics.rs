@@ -1,19 +1,46 @@
 //! Runtime metrics: the quantities behind Fig. 7b–7d and Fig. 8.
 
-use clash_common::{FxHashMap, QueryId};
+use clash_common::{FxHashMap, LatencyHistogram, QueryId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::time::Duration;
 
-/// Aggregated latency statistics in microseconds.
+/// Aggregated latency statistics in microseconds, extracted from a
+/// [`LatencyHistogram`]: count, mean and exact max as before, plus the
+/// tail quantiles the paper's evaluation (Fig. 7d) actually argues about.
+/// Quantiles carry the histogram's bucket error (≤
+/// [`LatencyHistogram::RELATIVE_ERROR`] above the exact sample quantile).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct LatencyStats {
     /// Number of samples.
     pub count: u64,
     /// Mean latency (µs).
     pub mean_us: f64,
-    /// Maximum latency (µs).
+    /// Median latency (µs).
+    pub p50_us: f64,
+    /// 90th-percentile latency (µs).
+    pub p90_us: f64,
+    /// 99th-percentile latency (µs).
+    pub p99_us: f64,
+    /// 99.9th-percentile latency (µs).
+    pub p999_us: f64,
+    /// Maximum latency (µs, exact).
     pub max_us: f64,
+}
+
+impl LatencyStats {
+    /// Summarizes a histogram.
+    pub fn from_histogram(hist: &LatencyHistogram) -> LatencyStats {
+        LatencyStats {
+            count: hist.count(),
+            mean_us: hist.mean_us(),
+            p50_us: hist.quantile_us(0.5),
+            p90_us: hist.quantile_us(0.9),
+            p99_us: hist.quantile_us(0.99),
+            p999_us: hist.quantile_us(0.999),
+            max_us: hist.max_us(),
+        }
+    }
 }
 
 /// Mutable metrics accumulated by the engine.
@@ -30,34 +57,59 @@ pub struct EngineMetrics {
     pub results: FxHashMap<QueryId, u64>,
     /// Probe lookups performed.
     pub probes: u64,
-    /// Sum and max of per-result latency (µs), per query.
-    latency_sum_us: f64,
-    latency_max_us: f64,
-    latency_count: u64,
+    /// Per-result ingest-to-emit latency, one mergeable histogram per
+    /// query (keyed like `results`; merged bucket-wise at epoch barriers).
+    latency: FxHashMap<QueryId, LatencyHistogram>,
+    /// Age of micro-batch buffers when they were flushed (how long the
+    /// oldest buffered delivery waited for the size or time trigger).
+    pub flush_age: LatencyHistogram,
     /// Wall-clock processing time spent inside `ingest`.
     pub busy: Duration,
 }
 
 impl EngineMetrics {
-    /// Records the latency of one emitted result.
-    pub fn record_latency(&mut self, latency: Duration) {
-        let us = latency.as_secs_f64() * 1e6;
-        self.latency_sum_us += us;
-        self.latency_max_us = self.latency_max_us.max(us);
-        self.latency_count += 1;
+    /// Records the latency of one result emitted for `query`.
+    #[inline]
+    pub fn record_latency(&mut self, query: QueryId, latency: Duration) {
+        self.latency.entry(query).or_default().record(latency);
     }
 
-    /// Latency statistics over all emitted results.
+    /// Latency statistics over all emitted results (all queries merged).
     pub fn latency(&self) -> LatencyStats {
-        LatencyStats {
-            count: self.latency_count,
-            mean_us: if self.latency_count == 0 {
-                0.0
-            } else {
-                self.latency_sum_us / self.latency_count as f64
-            },
-            max_us: self.latency_max_us,
+        LatencyStats::from_histogram(&self.combined_latency())
+    }
+
+    /// Latency statistics for one query.
+    pub fn latency_for(&self, query: QueryId) -> LatencyStats {
+        self.latency
+            .get(&query)
+            .map(LatencyStats::from_histogram)
+            .unwrap_or_default()
+    }
+
+    /// The per-query latency histograms.
+    pub fn latency_histograms(&self) -> impl Iterator<Item = (QueryId, &LatencyHistogram)> {
+        self.latency.iter().map(|(q, h)| (*q, h))
+    }
+
+    /// Per-query latency summaries keyed by raw query id — the shape
+    /// [`MetricsSnapshot::latency_per_query`] wants.
+    pub fn latency_per_query_stats(&self) -> HashMap<u32, LatencyStats> {
+        self.latency
+            .iter()
+            .map(|(q, h)| (q.0, LatencyStats::from_histogram(h)))
+            .collect()
+    }
+
+    /// One histogram over every emitted result (all queries merged) —
+    /// what the coordinator accumulates per worker to report per-shard
+    /// tail latency.
+    pub fn combined_latency(&self) -> LatencyHistogram {
+        let mut all = LatencyHistogram::new();
+        for hist in self.latency.values() {
+            all.merge(hist);
         }
+        all
     }
 
     /// Total results across all queries.
@@ -75,9 +127,10 @@ impl EngineMetrics {
         for (query, n) in &other.results {
             *self.results.entry(*query).or_default() += n;
         }
-        self.latency_sum_us += other.latency_sum_us;
-        self.latency_max_us = self.latency_max_us.max(other.latency_max_us);
-        self.latency_count += other.latency_count;
+        for (query, hist) in &other.latency {
+            self.latency.entry(*query).or_default().merge(hist);
+        }
+        self.flush_age.merge(&other.flush_age);
         self.busy += other.busy;
     }
 }
@@ -95,8 +148,11 @@ pub struct MetricsSnapshot {
     pub probes: u64,
     /// Results per query (keyed by raw query id).
     pub results: HashMap<u32, u64>,
-    /// Latency statistics.
+    /// Latency statistics over all queries.
     pub latency: LatencyStats,
+    /// Latency statistics per query (keyed by raw query id, like
+    /// `results`).
+    pub latency_per_query: HashMap<u32, LatencyStats>,
     /// Total bytes held by all stores.
     pub store_bytes: usize,
     /// Total tuples held by all stores.
@@ -119,6 +175,14 @@ impl MetricsSnapshot {
     pub fn total_results(&self) -> u64 {
         self.results.values().sum()
     }
+
+    /// Latency statistics for one query.
+    pub fn latency_for(&self, query: QueryId) -> LatencyStats {
+        self.latency_per_query
+            .get(&query.0)
+            .copied()
+            .unwrap_or_default()
+    }
 }
 
 #[cfg(test)]
@@ -129,12 +193,47 @@ mod tests {
     fn latency_aggregation() {
         let mut m = EngineMetrics::default();
         assert_eq!(m.latency(), LatencyStats::default());
-        m.record_latency(Duration::from_micros(100));
-        m.record_latency(Duration::from_micros(300));
+        let q = QueryId::new(0);
+        m.record_latency(q, Duration::from_micros(100));
+        m.record_latency(q, Duration::from_micros(300));
         let l = m.latency();
         assert_eq!(l.count, 2);
         assert!((l.mean_us - 200.0).abs() < 1e-6);
         assert!((l.max_us - 300.0).abs() < 1e-6);
+        // Quantiles carry at most one bucket's relative error.
+        let bound = 1.0 + clash_common::LatencyHistogram::RELATIVE_ERROR;
+        assert!(l.p50_us >= 100.0 && l.p50_us <= 100.0 * bound);
+        assert!(l.p99_us >= 300.0 - 1e-9 && l.p99_us <= 300.0 * bound);
+    }
+
+    #[test]
+    fn latency_is_tracked_per_query() {
+        let mut m = EngineMetrics::default();
+        let q1 = QueryId::new(1);
+        let q2 = QueryId::new(2);
+        m.record_latency(q1, Duration::from_micros(100));
+        m.record_latency(q2, Duration::from_micros(900));
+        assert_eq!(m.latency_for(q1).count, 1);
+        assert_eq!(m.latency_for(q2).count, 1);
+        assert!(m.latency_for(q1).max_us < m.latency_for(q2).max_us);
+        assert_eq!(m.latency_for(QueryId::new(3)).count, 0);
+        assert_eq!(m.latency().count, 2, "combined view spans all queries");
+    }
+
+    #[test]
+    fn merge_combines_per_query_histograms() {
+        let q1 = QueryId::new(1);
+        let q2 = QueryId::new(2);
+        let mut a = EngineMetrics::default();
+        let mut b = EngineMetrics::default();
+        a.record_latency(q1, Duration::from_micros(50));
+        b.record_latency(q1, Duration::from_micros(150));
+        b.record_latency(q2, Duration::from_micros(500));
+        a.merge(&b);
+        assert_eq!(a.latency_for(q1).count, 2);
+        assert_eq!(a.latency_for(q2).count, 1);
+        assert!((a.latency_for(q1).mean_us - 100.0).abs() < 1e-6);
+        assert_eq!(a.latency().count, 3);
     }
 
     #[test]
@@ -152,5 +251,14 @@ mod tests {
         assert_eq!(s.results_for(QueryId::new(7)), 11);
         assert_eq!(s.results_for(QueryId::new(8)), 0);
         assert_eq!(s.total_results(), 11);
+        s.latency_per_query.insert(
+            7,
+            LatencyStats {
+                count: 11,
+                ..LatencyStats::default()
+            },
+        );
+        assert_eq!(s.latency_for(QueryId::new(7)).count, 11);
+        assert_eq!(s.latency_for(QueryId::new(8)).count, 0);
     }
 }

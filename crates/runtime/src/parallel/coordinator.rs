@@ -14,7 +14,7 @@
 //! quiesce gate and their own slot lock — so ingestion scales
 //! independently of control-plane activity.
 
-use crate::adaptive::AdaptiveController;
+use crate::adaptive::{AdaptiveController, ControllerDecision};
 use crate::engine::{EngineConfig, EngineControl, ResultSink};
 use crate::ingest::flusher::Flusher;
 use crate::ingest::shared::ControlShared;
@@ -22,11 +22,15 @@ use crate::ingest::{SourceHandle, SourceSlot};
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
 use crate::parallel::driver::EpochDriver;
 use crate::parallel::router::{route_root, symmetric_stores, symmetric_stores_multi, RootHandle};
-use crate::parallel::shard::StoreLayout;
+use crate::parallel::shard::{StoreDetail, StoreLayout};
 use crate::parallel::worker::{run_worker, WorkerAck, WorkerCtx, WorkerMsg};
 use crate::stats_collector::StatsCollector;
 use clash_catalog::{Catalog, Statistics};
-use clash_common::{ClashError, Epoch, EpochConfig, QueryId, Result, StoreId, Timestamp, Tuple};
+use clash_common::{
+    chrome_trace_json, trace_clock_us, ArenaStats, ClashError, Epoch, EpochConfig, Exposition,
+    LatencyHistogram, QueryId, Result, StoreId, Timestamp, TraceEvent, TraceEventKind, TraceRing,
+    Tuple,
+};
 use clash_optimizer::TopologyPlan;
 use std::collections::HashSet;
 use std::sync::atomic::Ordering;
@@ -105,6 +109,21 @@ pub(crate) struct EngineCore {
     /// Wall-clock span from first ingest after a barrier to barrier end.
     active_since: Option<Instant>,
     wall_busy: StdDuration,
+    /// The coordinator's own trace lane (tid 0; workers take 1..=N).
+    trace: TraceRing,
+    /// Worker trace events absorbed at barriers, bounded at
+    /// `trace_capacity * (workers + 1)` (oldest dropped first, matching
+    /// the rings' own overwrite policy).
+    trace_buf: Vec<TraceEvent>,
+    /// Per-shard ingest-to-emit latency, merged from each worker's delta
+    /// at barriers (the per-query view lives in `metrics`).
+    worker_latency: Vec<LatencyHistogram>,
+    /// Per-worker-thread arena counters as of the last barrier.
+    worker_arena: Vec<ArenaStats>,
+    /// Per-store breakdown per worker as of the last barrier.
+    worker_stores: Vec<Vec<StoreDetail>>,
+    /// Plan installs performed over the engine's lifetime.
+    installs: u64,
 }
 
 impl std::fmt::Debug for ParallelEngine {
@@ -129,7 +148,7 @@ impl ParallelEngine {
         let plan = Arc::new(plan);
         let layout = Arc::new(StoreLayout::derive(&catalog, &plan));
         let symmetric = Arc::new(symmetric_stores(&plan));
-        let shared = Arc::new(ControlShared::new());
+        let shared = Arc::new(ControlShared::new(workers));
         let (ack_tx, ack_rx) = channel();
         let mut senders = Vec::with_capacity(workers);
         let mut receivers = Vec::with_capacity(workers);
@@ -152,6 +171,8 @@ impl ParallelEngine {
                 plan: plan.clone(),
                 layout: layout.clone(),
                 forward_results,
+                trace_capacity: config.trace_capacity,
+                depth: shared.depth.clone(),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("clash-worker-{index}"))
@@ -164,6 +185,7 @@ impl ParallelEngine {
             workers,
             config.micro_batch,
             config.epoch,
+            shared.depth.clone(),
         ));
         shared
             .sources
@@ -205,6 +227,12 @@ impl ParallelEngine {
             worker_busy: vec![StdDuration::ZERO; workers],
             active_since: None,
             wall_busy: StdDuration::ZERO,
+            trace: TraceRing::new(config.trace_capacity, 0),
+            trace_buf: Vec::new(),
+            worker_latency: vec![LatencyHistogram::new(); workers],
+            worker_arena: vec![ArenaStats::default(); workers],
+            worker_stores: vec![Vec::new(); workers],
+            installs: 0,
         };
         ParallelEngine {
             shared,
@@ -386,6 +414,28 @@ impl ParallelEngine {
         self.core().reset_metrics();
     }
 
+    /// Runs a barrier and renders the engine's telemetry page
+    /// (Prometheus-style text): engine counters, per-query latency
+    /// quantiles, per-shard latency quantiles, per-worker busy time and
+    /// queue depth, per-store size/index gauges, arena counters,
+    /// in-flight roots and plan installs.
+    pub fn telemetry_snapshot(&mut self) -> String {
+        self.core().telemetry_snapshot()
+    }
+
+    /// Runs a barrier and drains every thread's trace-event ring (the
+    /// coordinator's lane included), merged and sorted by timestamp.
+    /// Empty when `EngineConfig::trace_capacity` is 0.
+    pub fn drain_trace(&mut self) -> Vec<clash_common::TraceEvent> {
+        self.core().drain_trace()
+    }
+
+    /// [`Self::drain_trace`] rendered as Chrome trace-event JSON (load it
+    /// in `chrome://tracing` or Perfetto).
+    pub fn trace_json(&mut self) -> String {
+        self.core().trace_json()
+    }
+
     /// Starts the control-plane epoch driver: a background thread that
     /// watches the stream clock (advanced by every `ingest` and every
     /// `SourceHandle::push`) and, at each epoch boundary, runs a
@@ -501,6 +551,7 @@ impl EngineCore {
             self.workers,
             self.config.micro_batch,
             self.config.epoch,
+            self.shared.depth.clone(),
         ));
         self.shared
             .sources
@@ -598,6 +649,11 @@ impl EngineCore {
         if self.active_since.is_none() {
             self.active_since = Some(Instant::now());
         }
+        let trace_started = if self.trace.enabled() {
+            trace_clock_us()
+        } else {
+            0
+        };
         let started = Instant::now();
         self.metrics.tuples_ingested += 1;
         self.max_ts = self.max_ts.max(tuple.ts);
@@ -626,9 +682,20 @@ impl EngineCore {
             // The flusher thread sweeps this buffer too, covering the
             // idle-coordinator case this check cannot.
             if inner.buf.is_full() || inner.buf.is_stale(self.config.micro_batch_max_delay) {
-                inner.buf.flush(&self.senders);
+                let buffered = inner.buf.len() as u64;
+                if let Some(age) = inner.buf.flush(&self.senders) {
+                    inner.metrics.flush_age.record(age);
+                    self.trace
+                        .record(TraceEventKind::Flush, buffered, age.as_micros() as u64);
+                }
             }
         }
+        self.trace.record_span(
+            TraceEventKind::Route,
+            trace_started,
+            seq,
+            u64::from(relation.0),
+        );
 
         self.since_expiry += 1;
         if self.config.expire_every > 0 && self.since_expiry >= self.config.expire_every {
@@ -661,7 +728,7 @@ impl EngineCore {
         let mut any_closed = false;
         for slot in &slots {
             let mut inner = slot.inner.lock().expect("source slot");
-            inner.buf.flush(&self.senders);
+            inner.flush(&self.senders);
             self.metrics.merge(&std::mem::take(&mut inner.metrics));
             self.stats.merge(inner.stats.take_delta());
             self.max_ts = self.max_ts.max(inner.max_ts);
@@ -725,6 +792,11 @@ impl EngineCore {
         self.drain_source_deltas();
         self.token += 1;
         let token = self.token;
+        let trace_started = if self.trace.enabled() {
+            trace_clock_us()
+        } else {
+            0
+        };
         for s in &self.senders {
             if s.send(WorkerMsg::Collect { token, expire_upto }).is_err() && !lenient {
                 return Err(ClashError::Runtime(
@@ -732,7 +804,14 @@ impl EngineCore {
                 ));
             }
         }
-        self.await_acks(token, lenient)
+        let expired = self.await_acks(token, lenient)?;
+        self.trace.record_span(
+            TraceEventKind::Barrier,
+            trace_started,
+            token,
+            expired as u64,
+        );
+        Ok(expired)
     }
 
     /// Receives one ack per worker for `token`, merging all deltas. In
@@ -753,9 +832,15 @@ impl EngineCore {
                     acked[ack.worker] = true;
                     expired += ack.expired;
                     self.worker_busy[ack.worker] += ack.metrics.busy;
+                    // Per-shard latency view: fold this worker's delta in
+                    // before the per-query merge consumes the histograms.
+                    self.worker_latency[ack.worker].merge(&ack.metrics.combined_latency());
                     self.metrics.merge(&ack.metrics);
                     self.stats.merge(ack.stats);
                     self.worker_store_totals[ack.worker] = (ack.store_tuples, ack.store_bytes);
+                    self.worker_arena[ack.worker] = ack.arena;
+                    self.worker_stores[ack.worker] = ack.per_store;
+                    self.absorb_trace(ack.trace);
                     for (query, tuple) in ack.results {
                         if let Some(sink) = &mut self.sink {
                             sink(query, &tuple);
@@ -847,6 +932,7 @@ impl EngineCore {
         // admission when dropped, so every exit path (including errors)
         // releases blocked producers. (Local Arc clone: the guard must
         // not borrow `self` across the mutating phases below.)
+        self.trace.record(TraceEventKind::QuiesceBegin, 0, 0);
         let shared = self.shared.clone();
         let quiesced = shared.gate.quiesce();
         // Phase 2 — flush residual old-plan batches and drain the workers
@@ -864,6 +950,8 @@ impl EngineCore {
             self.wall_busy += started.elapsed();
         }
         let install_seq = self.shared.sequenced();
+        self.trace
+            .record(TraceEventKind::QuiesceEnd, install_seq, 0);
         // Phase 3 — install: swap the plan on the coordinator, on every
         // source slot (their buffers are empty after the drain) and on
         // every worker, then wait for the install acks.
@@ -881,7 +969,7 @@ impl EngineCore {
                 inner.buf.is_empty(),
                 "source slot still buffered after quiesce drain"
             );
-            inner.buf.flush(&self.senders);
+            inner.flush(&self.senders);
             inner.plan = plan.clone();
         }
         self.token += 1;
@@ -908,6 +996,12 @@ impl EngineCore {
                  should be shut down"
             ))
         })?;
+        self.installs += 1;
+        self.trace.record(
+            TraceEventKind::PlanInstall,
+            install_seq,
+            self.plan.stores.len() as u64,
+        );
         // Phase 4 — resume: blocked pushes proceed against the new plan.
         drop(quiesced);
         Ok(install_seq)
@@ -936,6 +1030,7 @@ impl EngineCore {
                 .map(|(q, n)| (q.0, *n))
                 .collect(),
             latency: self.metrics.latency(),
+            latency_per_query: self.metrics.latency_per_query_stats(),
             store_bytes: self.store_bytes(),
             store_tuples: self.store_tuples(),
             num_stores: self.plan.num_stores(),
@@ -954,6 +1049,145 @@ impl EngineCore {
         self.results.clear();
         self.wall_busy = StdDuration::ZERO;
         self.worker_busy = vec![StdDuration::ZERO; self.workers];
+        self.worker_latency = vec![LatencyHistogram::new(); self.workers];
+    }
+
+    /// Absorbs one worker's trace delta, dropping the oldest buffered
+    /// events once the buffer exceeds one ring's worth per thread lane.
+    fn absorb_trace(&mut self, events: Vec<TraceEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        self.trace_buf.extend(events);
+        let cap = self.config.trace_capacity * (self.workers + 1);
+        if self.trace_buf.len() > cap {
+            let excess = self.trace_buf.len() - cap;
+            self.trace_buf.drain(..excess);
+        }
+    }
+
+    /// Records the epoch-driver's boundary observation on the
+    /// coordinator's trace lane.
+    pub(crate) fn record_epoch_tick(&mut self, epoch: Epoch) {
+        self.trace.record(TraceEventKind::EpochTick, epoch.0, 0);
+    }
+
+    /// Records an adaptive-controller evaluation (cost-model output and
+    /// whether a reconfiguration was installed) on the coordinator's lane.
+    pub(crate) fn record_controller_decision(&mut self, decision: &ControllerDecision) {
+        self.trace.record(
+            TraceEventKind::ControllerDecision,
+            (decision.shared_cost * 1000.0) as u64,
+            u64::from(decision.installed),
+        );
+    }
+
+    /// Runs a barrier (pulling every worker's ring) and drains all trace
+    /// events accumulated so far, merged across lanes and sorted by
+    /// timestamp. Returns an empty vector when tracing is disabled.
+    pub(crate) fn drain_trace(&mut self) -> Vec<TraceEvent> {
+        if self.config.trace_capacity > 0 && !self.handles.is_empty() {
+            self.flush();
+        }
+        let mut events = std::mem::take(&mut self.trace_buf);
+        events.extend(self.trace.drain());
+        events.sort_by_key(|e| e.ts_us);
+        events
+    }
+
+    /// [`Self::drain_trace`] rendered as Chrome trace-event JSON.
+    pub(crate) fn trace_json(&mut self) -> String {
+        let events = self.drain_trace();
+        chrome_trace_json(&events)
+    }
+
+    /// Runs a barrier and renders the telemetry page: the shared engine /
+    /// store / arena sections plus the parallel runtime's own gauges
+    /// (per-shard latency quantiles, per-worker busy time and queue
+    /// depth, in-flight roots, plan installs).
+    pub(crate) fn telemetry_snapshot(&mut self) -> String {
+        if !self.handles.is_empty() {
+            self.flush();
+        }
+        let mut page = Exposition::new();
+        crate::exposition::engine_sections(&mut page, &self.metrics);
+
+        page.declare(
+            "clash_shard_latency_us",
+            "Ingest-to-emit latency per worker shard (µs).",
+            "summary",
+        );
+        for (worker, hist) in self.worker_latency.iter().enumerate() {
+            page.quantiles(
+                "clash_shard_latency_us",
+                &[("worker", &worker.to_string())],
+                hist,
+            );
+        }
+        page.declare(
+            "clash_worker_busy_seconds",
+            "Processing time accumulated per worker thread.",
+            "gauge",
+        );
+        page.declare(
+            "clash_worker_queue_depth",
+            "Deliveries enqueued to a worker and not yet processed.",
+            "gauge",
+        );
+        for worker in 0..self.workers {
+            let label = worker.to_string();
+            page.sample(
+                "clash_worker_busy_seconds",
+                &[("worker", &label)],
+                self.worker_busy[worker].as_secs_f64(),
+            );
+            page.sample(
+                "clash_worker_queue_depth",
+                &[("worker", &label)],
+                self.shared.depth.depth(worker) as f64,
+            );
+        }
+        page.declare(
+            "clash_inflight_roots",
+            "Sequenced roots not yet covered by the completion watermark.",
+            "gauge",
+        );
+        let inflight = self
+            .shared
+            .sequenced()
+            .saturating_sub(self.shared.progress.watermark());
+        page.sample("clash_inflight_roots", &[], inflight as f64);
+        page.declare(
+            "clash_plan_installs_total",
+            "Plan installs performed (quiesced reconfigurations).",
+            "counter",
+        );
+        page.sample("clash_plan_installs_total", &[], self.installs as f64);
+
+        // Per-store gauges, summed across the workers' shards.
+        let mut by_store: Vec<StoreDetail> = Vec::new();
+        for detail in self.worker_stores.iter().flatten() {
+            match by_store.iter_mut().find(|d| d.store == detail.store) {
+                Some(d) => {
+                    d.tuples += detail.tuples;
+                    d.bytes += detail.bytes;
+                    d.posting_lists += detail.posting_lists;
+                    d.spilled_postings += detail.spilled_postings;
+                }
+                None => by_store.push(*detail),
+            }
+        }
+        by_store.sort_unstable_by_key(|d| d.store.0);
+        crate::exposition::store_sections(&mut page, &by_store);
+
+        crate::exposition::arena_sections(
+            &mut page,
+            self.worker_arena
+                .iter()
+                .enumerate()
+                .map(|(w, stats)| (format!("worker-{w}"), stats)),
+        );
+        page.finish()
     }
 
     fn shutdown(&mut self) {

@@ -81,10 +81,20 @@ impl EpochDriver {
                         *error_slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(e);
                         break;
                     }
+                    core.record_epoch_tick(current);
                     let mut controller = controller.lock().unwrap_or_else(PoisonError::into_inner);
+                    let before = controller.last_decision.map(|d| d.epoch);
                     if let Err(e) = controller.on_epoch(&mut *core, current) {
                         *error_slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(e);
                         break;
+                    }
+                    // Trace the cost-model output of a fresh evaluation
+                    // (boundaries that skipped re-planning leave the last
+                    // decision untouched).
+                    if let Some(decision) = controller.last_decision {
+                        if before != Some(decision.epoch) {
+                            core.record_controller_decision(&decision);
+                        }
                     }
                 }
             })

@@ -224,16 +224,19 @@ pub(crate) struct BatchBuffer {
     /// Wall-clock instant of the oldest buffered delivery (the time
     /// trigger `EngineConfig::micro_batch_max_delay` measures from).
     since: Option<Instant>,
+    /// Shared queue-depth gauges, bumped on the enqueue side per flush.
+    gauges: Arc<DepthGauges>,
 }
 
 impl BatchBuffer {
     /// An empty buffer for `workers` targets with the given size trigger.
-    pub fn new(workers: usize, capacity: usize) -> Self {
+    pub fn new(workers: usize, capacity: usize, gauges: Arc<DepthGauges>) -> Self {
         BatchBuffer {
             per_worker: (0..workers).map(|_| Vec::new()).collect(),
             buffered: 0,
             capacity: capacity.max(1),
             since: None,
+            gauges,
         }
     }
 
@@ -256,6 +259,11 @@ impl BatchBuffer {
         self.buffered == 0
     }
 
+    /// Number of buffered deliveries.
+    pub fn len(&self) -> usize {
+        self.buffered
+    }
+
     /// `true` once the oldest buffered delivery is older than `max_delay`
     /// (the time trigger; `ZERO` disables it).
     pub fn is_stale(&self, max_delay: std::time::Duration) -> bool {
@@ -264,18 +272,62 @@ impl BatchBuffer {
     }
 
     /// Ships every buffered delivery as one `Batch` message per worker.
-    pub fn flush(&mut self, senders: &[Sender<WorkerMsg>]) {
+    /// Returns the age of the oldest buffered delivery (how long it sat
+    /// waiting for the size or time trigger) when anything was shipped —
+    /// the sample behind the `flush_age` telemetry histogram.
+    pub fn flush(&mut self, senders: &[Sender<WorkerMsg>]) -> Option<std::time::Duration> {
         if self.buffered == 0 {
-            return;
+            return None;
         }
         self.buffered = 0;
-        self.since = None;
+        let age = self.since.take().map(|since| since.elapsed());
         for (worker, batch) in self.per_worker.iter_mut().enumerate() {
             if !batch.is_empty() {
+                self.gauges.enqueued(worker, batch.len() as u64);
                 // A send only fails after shutdown; deliveries are then moot.
                 let _ = senders[worker].send(WorkerMsg::Batch(std::mem::take(batch)));
             }
         }
+        age
+    }
+}
+
+/// Per-worker channel-depth gauges: producers count deliveries as they
+/// enqueue `Batch` messages, workers count them as they drain, and the
+/// difference is the instantaneous backlog exposed as
+/// `clash_worker_queue_depth`. Two monotone counters instead of one
+/// gauge keep both sides wait-free — no producer/consumer contention on
+/// a shared decrement, and a momentary negative race simply clamps to 0.
+#[derive(Debug, Default)]
+pub(crate) struct DepthGauges {
+    enqueued: Vec<AtomicU64>,
+    processed: Vec<AtomicU64>,
+}
+
+impl DepthGauges {
+    /// Gauges for `workers` channels.
+    pub fn new(workers: usize) -> Self {
+        DepthGauges {
+            enqueued: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            processed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Counts `n` deliveries handed to `worker`'s channel.
+    pub fn enqueued(&self, worker: usize, n: u64) {
+        self.enqueued[worker].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts `n` deliveries drained by `worker`.
+    pub fn processed(&self, worker: usize, n: u64) {
+        self.processed[worker].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Instantaneous backlog of `worker`'s channel, clamped at 0.
+    pub fn depth(&self, worker: usize) -> u64 {
+        let enq = self.enqueued[worker].load(Ordering::Relaxed);
+        let done = self.processed[worker].load(Ordering::Relaxed);
+        enq.saturating_sub(done)
     }
 }
 

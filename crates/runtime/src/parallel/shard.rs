@@ -33,7 +33,7 @@ use crate::store::StoreInstance;
 use clash_catalog::Catalog;
 use clash_common::{
     AttrRef, EdgeId, Epoch, EpochConfig, FxHashMap, QueryId, SlotAccessor, StoreId, Timestamp,
-    Tuple, Value, Window,
+    TraceEventKind, TraceRing, Tuple, Value, Window,
 };
 use clash_optimizer::{OutputAction, Rule, TopologyPlan};
 use std::collections::{HashMap, HashSet};
@@ -164,7 +164,7 @@ fn emit_result(
     started: Instant,
 ) {
     *metrics.results.entry(query).or_default() += 1;
-    metrics.record_latency(started.elapsed());
+    metrics.record_latency(query, started.elapsed());
     if let Some(tx) = subscription {
         if tx.send((query, joined.clone())).is_err() {
             // The subscriber hung up: stop paying the per-result clone.
@@ -199,6 +199,8 @@ pub(crate) struct ShardState {
     /// Streaming result subscription: emitted results are sent here the
     /// moment they are produced, without waiting for a barrier.
     pub subscription: Option<Sender<(QueryId, Tuple)>>,
+    /// This worker's trace-event ring (drained into barrier acks).
+    pub trace: TraceRing,
 }
 
 impl ShardState {
@@ -210,6 +212,7 @@ impl ShardState {
         symmetric: Arc<HashSet<StoreId>>,
         epoch: EpochConfig,
         forward_results: bool,
+        trace: TraceRing,
     ) -> Self {
         let mut shard = ShardState {
             workers,
@@ -223,6 +226,7 @@ impl ShardState {
             results: Vec::new(),
             forward_results,
             subscription: None,
+            trace,
         };
         shard.install(plan, layout, symmetric);
         shard
@@ -269,6 +273,8 @@ impl ShardState {
         self.plan = plan;
         self.symmetric = symmetric;
         self.pending.clear();
+        self.trace
+            .record(TraceEventKind::PlanInstall, 0, self.stores.len() as u64);
     }
 
     /// Executes the rules of one delivery, pushing generated forwards into
@@ -295,6 +301,11 @@ impl ShardState {
                         .get_mut(&delivery.target.store)
                         .expect("store exists");
                     store.insert_seq(partition, epoch, delivery.tuple.clone(), delivery.guard);
+                    self.trace.record(
+                        TraceEventKind::Insert,
+                        u64::from(delivery.target.store.0),
+                        delivery.guard,
+                    );
                     if self.symmetric.contains(&delivery.target.store) {
                         self.retro_probe(&plan, delivery.target.store, partition, delivery, out);
                     }
@@ -353,6 +364,11 @@ impl ShardState {
                     if counts_probe {
                         self.metrics.probes += 1;
                     }
+                    self.trace.record(
+                        TraceEventKind::Probe,
+                        u64::from(delivery.target.store.0),
+                        matches.len() as u64,
+                    );
                     self.stats.record_probe_obs(
                         epoch,
                         predicates,
@@ -541,6 +557,7 @@ impl ShardState {
             let horizon = store.window.horizon(upto);
             removed += store.expire(horizon);
         }
+        self.trace.record(TraceEventKind::Expire, removed as u64, 0);
         removed
     }
 
@@ -551,4 +568,41 @@ impl ShardState {
             self.stores.values().map(|s| s.bytes()).sum(),
         )
     }
+
+    /// Per-store size and index shape of this shard, sorted by store id —
+    /// shipped in barrier acks for the telemetry surface.
+    pub fn store_detail(&self) -> Vec<StoreDetail> {
+        let mut detail: Vec<StoreDetail> = self
+            .stores
+            .iter()
+            .map(|(id, store)| {
+                let (posting_lists, spilled_postings) = store.posting_stats();
+                StoreDetail {
+                    store: *id,
+                    tuples: store.len(),
+                    bytes: store.bytes(),
+                    posting_lists,
+                    spilled_postings,
+                }
+            })
+            .collect();
+        detail.sort_by_key(|d| d.store.0);
+        detail
+    }
+}
+
+/// Per-store shard-local sizes for the telemetry surface: what one worker
+/// holds of a store, summed across workers by the coordinator.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StoreDetail {
+    /// The store.
+    pub store: StoreId,
+    /// Tuples held by this shard's partitions.
+    pub tuples: usize,
+    /// Approximate bytes held by this shard's partitions.
+    pub bytes: usize,
+    /// Distinct (attribute, value) posting lists in the hash indexes.
+    pub posting_lists: usize,
+    /// Posting lists spilled past the inline capacity to a heap vector.
+    pub spilled_postings: usize,
 }

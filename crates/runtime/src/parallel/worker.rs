@@ -8,10 +8,13 @@
 //! remaining races.
 
 use crate::metrics::EngineMetrics;
-use crate::parallel::router::{fan_out, Progress, RootHandle};
-use crate::parallel::shard::{ShardState, StoreLayout};
+use crate::parallel::router::{fan_out, DepthGauges, Progress, RootHandle};
+use crate::parallel::shard::{ShardState, StoreDetail, StoreLayout};
 use crate::stats_collector::StatsCollector;
-use clash_common::{EpochConfig, QueryId, StoreId, Timestamp, Tuple};
+use clash_common::{
+    arena_stats, ArenaStats, EpochConfig, QueryId, StoreId, Timestamp, TraceEvent, TraceEventKind,
+    TraceRing, Tuple,
+};
 use clash_optimizer::{SendTarget, TopologyPlan};
 use std::collections::HashSet;
 use std::sync::mpsc::{Receiver, Sender};
@@ -106,21 +109,30 @@ pub(crate) struct WorkerAck {
     pub store_tuples: usize,
     /// Total bytes currently held by this shard.
     pub store_bytes: usize,
+    /// Per-store breakdown of what this shard holds (telemetry surface).
+    pub per_store: Vec<StoreDetail>,
     /// Tuples removed by the counted expiry of this barrier.
     pub expired: usize,
+    /// Trace events accumulated since the last barrier.
+    pub trace: Vec<TraceEvent>,
+    /// This worker thread's arena counters (cumulative; thread-local, so
+    /// they can only be read here, on the worker thread itself).
+    pub arena: ArenaStats,
 }
 
 /// Collects the deliveries generated while processing one message and
 /// ships them per target worker in one go.
 pub(crate) struct Outbox {
     direct: Vec<Vec<Delivery>>,
+    gauges: Arc<DepthGauges>,
 }
 
 impl Outbox {
     /// An empty outbox for `workers` targets.
-    pub fn new(workers: usize) -> Self {
+    pub fn new(workers: usize, gauges: Arc<DepthGauges>) -> Self {
         Outbox {
             direct: (0..workers).map(|_| Vec::new()).collect(),
+            gauges,
         }
     }
 
@@ -156,6 +168,7 @@ impl Outbox {
     pub fn flush(self, senders: &[Sender<WorkerMsg>]) {
         for (worker, batch) in self.direct.into_iter().enumerate() {
             if !batch.is_empty() {
+                self.gauges.enqueued(worker, batch.len() as u64);
                 // A send only fails after shutdown; deliveries are then moot.
                 let _ = senders[worker].send(WorkerMsg::Batch(batch));
             }
@@ -185,6 +198,10 @@ pub(crate) struct WorkerCtx {
     pub layout: Arc<StoreLayout>,
     /// Initial result-forwarding flag.
     pub forward_results: bool,
+    /// Capacity of this worker's trace-event ring (0 disables tracing).
+    pub trace_capacity: usize,
+    /// Shared channel-depth gauges (drain side).
+    pub depth: Arc<DepthGauges>,
 }
 
 /// The worker thread body.
@@ -200,24 +217,40 @@ pub(crate) fn run_worker(ctx: WorkerCtx, rx: Receiver<WorkerMsg>) {
         plan,
         layout,
         forward_results,
+        trace_capacity,
+        depth,
     } = ctx;
-    let mut shard = ShardState::new(workers, plan, &layout, symmetric, epoch, forward_results);
+    // Trace lane 0 is the coordinator; workers take lanes 1..=workers.
+    let trace = TraceRing::new(trace_capacity, index as u32 + 1);
+    let mut shard = ShardState::new(
+        workers,
+        plan,
+        &layout,
+        symmetric,
+        epoch,
+        forward_results,
+        trace,
+    );
     while let Ok(msg) = rx.recv() {
         match msg {
             WorkerMsg::Batch(deliveries) => {
                 let started = Instant::now();
-                let mut out = Outbox::new(workers);
+                let mut out = Outbox::new(workers, depth.clone());
                 for delivery in &deliveries {
                     shard.process(delivery, &mut out);
                     delivery.root.finish_one();
                 }
                 out.flush(&senders);
+                depth.processed(index, deliveries.len() as u64);
                 shard.gc_probers(progress.watermark());
                 shard.metrics.busy += started.elapsed();
             }
             WorkerMsg::Collect { token, expire_upto } => {
                 let expired = expire_upto.map(|upto| shard.expire(upto)).unwrap_or(0);
                 shard.gc_probers(progress.watermark());
+                shard
+                    .trace
+                    .record(TraceEventKind::Barrier, token, expired as u64);
                 if ack_tx
                     .send(drain_ack(&mut shard, index, token, expired))
                     .is_err()
@@ -232,6 +265,7 @@ pub(crate) fn run_worker(ctx: WorkerCtx, rx: Receiver<WorkerMsg>) {
                 symmetric,
             } => {
                 shard.install(plan, &layout, symmetric);
+                shard.trace.record(TraceEventKind::Barrier, token, 0);
                 if ack_tx.send(drain_ack(&mut shard, index, token, 0)).is_err() {
                     break;
                 }
@@ -266,6 +300,10 @@ fn drain_ack(shard: &mut ShardState, worker: usize, token: u64, expired: usize) 
         results: std::mem::take(&mut shard.results),
         store_tuples,
         store_bytes,
+        per_store: shard.store_detail(),
         expired,
+        trace: shard.trace.drain(),
+        // Thread-local: meaningful only when sampled on the worker thread.
+        arena: arena_stats(),
     }
 }

@@ -468,6 +468,24 @@ impl StoreInstance {
             .map(|c| c.bytes)
             .sum()
     }
+
+    /// Index shape: `(posting_lists, spilled)` across every partition,
+    /// epoch container and indexed attribute — how many distinct
+    /// (attribute, value) posting lists exist and how many have spilled
+    /// past [`clash_common::INLINE_POSTINGS`] to a heap vector. Exposed
+    /// for the telemetry surface; walks the indexes, so call it at
+    /// barriers, not per tuple.
+    pub fn posting_stats(&self) -> (usize, usize) {
+        let mut lists = 0;
+        let mut spilled = 0;
+        for container in self.partitions.iter().flat_map(|p| p.values()) {
+            for by_value in &container.indexes {
+                lists += by_value.len();
+                spilled += by_value.values().filter(|l| l.is_spilled()).count();
+            }
+        }
+        (lists, spilled)
+    }
 }
 
 #[cfg(test)]
