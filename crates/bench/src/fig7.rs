@@ -34,6 +34,9 @@ pub struct Fig7Row {
     pub results: u64,
     /// Tuple copies sent between stores (the optimized probe cost).
     pub tuples_sent: u64,
+    /// Frozen segments built by the tiered state layer during the run
+    /// (sanity check: cold epochs actually freeze under real ingest).
+    pub compactions: u64,
 }
 
 /// Runs the Fig. 7 experiment.
@@ -78,6 +81,7 @@ pub fn run_fig7(num_queries: usize, num_tuples: usize, scale: f64, seed: u64) ->
             latency_p99_ms: snap.latency.p99_us / 1000.0,
             results: snap.total_results(),
             tuples_sent: snap.tuples_sent,
+            compactions: engine.store_compactions(),
         });
     }
     rows
@@ -233,6 +237,9 @@ mod tests {
         // The latency quantiles come from the histogram and are ordered.
         for row in &rows {
             assert!(row.latency_p50_ms > 0.0, "{}: p50 missing", row.strategy);
+            // The stream spans several epochs, so the tiered state layer
+            // must have frozen cold ones under the default config.
+            assert!(row.compactions > 0, "{}: no compactions", row.strategy);
             assert!(
                 row.latency_p99_ms >= row.latency_p50_ms,
                 "{}: p99 below p50",

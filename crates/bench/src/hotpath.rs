@@ -866,6 +866,163 @@ pub fn bench_store_probe(n: usize, probes: usize) -> MicroRow {
     }
 }
 
+/// Number of epochs the tiered-store suites spread their tuples over:
+/// enough cold epochs that per-epoch probe overhead (map lookup in the
+/// hot tier, bloom check in the frozen tier) dominates a miss.
+const TIER_EPOCHS: usize = 32;
+
+/// Fills a store with `n` tuples in `TIER_EPOCHS` contiguous epoch
+/// blocks, drawing the key of tuple `i` from `key_of(i)`.
+fn fill_tiered_store(
+    n: usize,
+    stored_key: AttrRef,
+    window: Window,
+    mut key_of: impl FnMut(usize) -> usize,
+) -> StoreInstance {
+    let mut store = fresh_store(window, stored_key);
+    let rel = RelationId::new(0);
+    for i in 0..n {
+        let epoch = Epoch((i * TIER_EPOCHS / n) as u64);
+        let pairs = vec![
+            (
+                AttrRef::new(rel, AttrId::new(0)),
+                Value::Int(key_of(i) as i64),
+            ),
+            (AttrRef::new(rel, AttrId::new(1)), Value::Int(i as i64)),
+            (AttrRef::new(rel, AttrId::new(2)), Value::str("payload")),
+        ];
+        store.insert(
+            0,
+            epoch,
+            Tuple::base(rel, Timestamp::from_millis(i as u64), pairs),
+        );
+    }
+    store
+}
+
+/// Shared body of the tiered-probe suites: identical stores, one left
+/// hot (baseline) and one fully frozen (optimized), probed with the same
+/// key sequence over every epoch. Unlike the other store rows this
+/// compares the engine against itself — the baseline is the hot tier the
+/// seed shipped, the optimized side is the frozen columnar tier — so the
+/// row isolates exactly what freezing buys (or costs) on that workload.
+fn bench_tiered_probe(
+    name: &'static str,
+    n: usize,
+    store: impl Fn() -> StoreInstance,
+    probe_keys: Vec<usize>,
+    check_keys: Vec<usize>,
+) -> MicroRow {
+    let (_, _, predicate) = store_fixture();
+    let live = store();
+    let mut frozen = store();
+    let built = frozen.freeze_before(Epoch(TIER_EPOCHS as u64));
+    assert!(built > 0, "{name}: freezing produced no segments");
+    assert_eq!(live.len(), frozen.len(), "{name}: freeze lost tuples");
+
+    let epochs: Vec<Epoch> = (0..TIER_EPOCHS as u64).map(Epoch).collect();
+    let probe_ts = Timestamp::from_millis(n as u64 + 10);
+    let as_probe = |k: usize| {
+        Tuple::base(
+            RelationId::new(1),
+            probe_ts,
+            vec![(
+                AttrRef::new(RelationId::new(1), AttrId::new(0)),
+                Value::Int(k as i64),
+            )],
+        )
+    };
+    let probes: Vec<Tuple> = probe_keys.iter().map(|&k| as_probe(k)).collect();
+    // Correctness cross-check over `check_keys` (callers include known
+    // hits, even when the timed stream is all misses) plus a sample of
+    // the timed stream: both tiers return the same match multiset
+    // (content-equal tuples; stored timestamps are unique, so sorting by
+    // `ts` makes the comparison order-insensitive).
+    let sampled = probes.iter().step_by((probes.len() / 16).max(1)).cloned();
+    let mut checked = 0usize;
+    for probe in check_keys.iter().map(|&k| as_probe(k)).chain(sampled) {
+        let mut lm = live.probe(0, &epochs, &probe, std::slice::from_ref(&predicate));
+        let mut fm = frozen.probe(0, &epochs, &probe, std::slice::from_ref(&predicate));
+        lm.sort_by_key(|t| t.ts);
+        fm.sort_by_key(|t| t.ts);
+        assert_eq!(lm, fm, "{name}: tiers disagree");
+        checked += lm.len();
+    }
+    assert!(checked > 0, "{name}: cross-check never exercised a hit");
+
+    let baseline = best_of(|| {
+        let started = Instant::now();
+        for probe in &probes {
+            std::hint::black_box(live.probe(0, &epochs, probe, std::slice::from_ref(&predicate)));
+        }
+        probes.len() as f64 / started.elapsed().as_secs_f64()
+    });
+    let optimized = best_of(|| {
+        let started = Instant::now();
+        for probe in &probes {
+            std::hint::black_box(frozen.probe(0, &epochs, probe, std::slice::from_ref(&predicate)));
+        }
+        probes.len() as f64 / started.elapsed().as_secs_f64()
+    });
+    MicroRow {
+        name,
+        unit: "probes_per_sec",
+        baseline_ops_per_sec: baseline,
+        optimized_ops_per_sec: optimized,
+    }
+}
+
+/// Cold-store probing: uniform keys across many frozen epochs, probed
+/// with keys that were never stored — the dominant outcome for a probe
+/// against long-retention cold state. The hot tier pays a `Value` hash
+/// plus a hash-map miss per epoch; the frozen tier hashes once per probe
+/// and answers every epoch from the segment blooms. (Hit probes are
+/// covered by the cross-check and by the skewed row, which times them.)
+pub fn bench_store_probe_cold(n: usize, probes: usize) -> MicroRow {
+    let (stored_key, _, _) = store_fixture();
+    let window = Window::secs(3_600);
+    let key_domain = (n / 8).max(1);
+    let probe_keys = (0..probes).map(|k| key_domain + k).collect();
+    // Known hits (stored keys span `0..key_domain`) plus one miss.
+    let check_keys = vec![0, 1, key_domain / 2, key_domain - 1, key_domain + 5];
+    bench_tiered_probe(
+        "store_probe_cold",
+        n,
+        || fill_tiered_store(n, stored_key, window, |i| i % key_domain),
+        probe_keys,
+        check_keys,
+    )
+}
+
+/// Skewed-store probing: stored keys drawn Zipf(s = 1) — a few hot keys
+/// own most of the stream — probed uniformly over the key domain, so
+/// most probes land on sparse tail keys with the occasional hot-key hit.
+/// Exercises the frozen tier's sorted hash runs and its per-match tuple
+/// reconstruction against the hot tier's posting lists.
+pub fn bench_store_probe_skewed(n: usize, probes: usize) -> MicroRow {
+    let (stored_key, _, _) = store_fixture();
+    let window = Window::secs(3_600);
+    let key_domain = (n / 8).max(1);
+    let stored = clash_datagen::ZipfSampler::new(key_domain, 1.0, 42);
+    // Exponent 0 degenerates to uniform: same sampler, disjoint seed.
+    let mut probing = clash_datagen::ZipfSampler::new(key_domain, 0.0, 43);
+    let probe_keys = (0..probes).map(|_| probing.next_rank()).collect();
+    // Hot head ranks, a tail rank, and an out-of-domain miss.
+    let check_keys = vec![0, 1, 2, key_domain - 1, key_domain + 5];
+    bench_tiered_probe(
+        "store_probe_skewed",
+        n,
+        // Clone per call: the fixture is built twice (live and frozen)
+        // and both must see the identical key sequence.
+        move || {
+            let mut keys = stored.clone();
+            fill_tiered_store(n, stored_key, window, move |_| keys.next_rank())
+        },
+        probe_keys,
+        check_keys,
+    )
+}
+
 /// Window expiry over a filled container: repeated waves each dropping
 /// the oldest slice (drain-and-rebuild vs. in-place incremental repair).
 pub fn bench_store_expire(n: usize) -> MicroRow {
@@ -1395,6 +1552,8 @@ pub fn run_hotpath(iters: usize, fig7_tuples: usize) -> HotpathReport {
         bench_partition_route(iters),
         bench_store_insert(store_n),
         bench_store_probe(store_n, (iters / 2).max(256)),
+        bench_store_probe_cold(store_n, (iters / 2).max(256)),
+        bench_store_probe_skewed(store_n, (iters / 2).max(256)),
         bench_store_expire(store_n),
     ];
     let allocs = bench_ingest_allocs((iters / 2).clamp(4_096, 200_000));
@@ -1453,7 +1612,8 @@ pub fn report_to_json(report: &HotpathReport) -> String {
         out.push_str(&format!(
             "    {{\"num_queries\": {}, \"strategy\": \"{}\", \"throughput_tps\": {:.1}, \
              \"memory_mb\": {:.3}, \"latency_ms\": {:.3}, \"latency_p50_ms\": {:.3}, \
-             \"latency_p99_ms\": {:.3}, \"results\": {}, \"tuples_sent\": {}}}{}\n",
+             \"latency_p99_ms\": {:.3}, \"results\": {}, \"tuples_sent\": {}, \
+             \"compactions\": {}}}{}\n",
             row.num_queries,
             row.strategy,
             row.throughput_tps,
@@ -1463,6 +1623,7 @@ pub fn report_to_json(report: &HotpathReport) -> String {
             row.latency_p99_ms,
             row.results,
             row.tuples_sent,
+            row.compactions,
             if i + 1 < report.fig7.len() { "," } else { "" }
         ));
     }
@@ -1537,6 +1698,8 @@ mod tests {
             bench_partition_route(200),
             bench_store_insert(512),
             bench_store_probe(512, 256),
+            bench_store_probe_cold(512, 256),
+            bench_store_probe_skewed(512, 256),
             bench_store_expire(512),
         ] {
             assert!(

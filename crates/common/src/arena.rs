@@ -70,6 +70,7 @@ thread_local! {
 /// Takes a zeroed (`Value::Null`-filled) buffer of exactly `width` slots,
 /// reusing a pooled one when available. Falls back to a fresh allocation
 /// when the thread-local pool is unavailable (thread teardown).
+#[inline]
 pub(crate) fn take_buffer(width: usize) -> Box<[Value]> {
     POOL.try_with(|pool| {
         let mut pool = pool.borrow_mut();
@@ -88,6 +89,7 @@ pub(crate) fn take_buffer(width: usize) -> Box<[Value]> {
 /// a buffer the pool has no room for is dropped as-is (the plain drop
 /// releases the payloads anyway), so bulk expiry waves beyond the pool
 /// cap pay nothing over a normal deallocation.
+#[inline]
 pub(crate) fn recycle_buffer(mut buf: Box<[Value]>) {
     let width = buf.len();
     if width == 0 || width > MAX_POOLED_WIDTH {

@@ -12,24 +12,28 @@
 //! provides exactly those primitives and nothing query- or plan-specific.
 
 pub mod arena;
+pub mod bloom;
 pub mod error;
 pub mod fxhash;
 pub mod ids;
 pub mod postings;
 pub mod relation_set;
 pub mod schema;
+pub mod segment;
 pub mod telemetry;
 pub mod time;
 pub mod tuple;
 pub mod value;
 
 pub use arena::{arena_stats, ArenaStats};
+pub use bloom::BloomFilter;
 pub use error::{ClashError, Result};
 pub use fxhash::{fx_hash, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{AttrId, EdgeId, QueryId, RelationId, StoreId, WorkerId};
 pub use postings::{PostingList, INLINE_POSTINGS};
 pub use relation_set::RelationSet;
 pub use schema::{AttrRef, Attribute, Schema, SchemaRef};
+pub use segment::FrozenSegment;
 pub use telemetry::{
     chrome_trace_json, trace_clock_us, Exposition, LatencyHistogram, TraceEvent, TraceEventKind,
     TraceRing,

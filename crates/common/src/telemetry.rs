@@ -234,6 +234,9 @@ pub enum TraceEventKind {
     /// A micro-batch buffer was flushed (`a` = buffered deliveries,
     /// `b` = buffer age in µs).
     Flush,
+    /// Cold epochs of a store were frozen into columnar segments
+    /// (`a` = raw store id, `b` = segments built by this pass).
+    Compaction,
 }
 
 impl TraceEventKind {
@@ -252,6 +255,7 @@ impl TraceEventKind {
             TraceEventKind::EpochTick => "epoch_tick",
             TraceEventKind::ControllerDecision => "controller_decision",
             TraceEventKind::Flush => "flush",
+            TraceEventKind::Compaction => "compaction",
         }
     }
 }

@@ -71,7 +71,7 @@ fn per_entry_bytes() -> usize {
 /// for duplicate attributes), presence bit set, size accounted. Returns
 /// `false` when the slot was already written (the value is left
 /// untouched by the caller).
-#[inline]
+#[inline(always)]
 fn write_slot(
     values: &mut [Value],
     present: &mut u64,
@@ -79,13 +79,21 @@ fn write_slot(
     slot: usize,
     value: Value,
 ) -> bool {
+    // `get_mut` instead of indexing: every caller guards the slot range
+    // already, and a panic-free body means no unwind landing pads in the
+    // per-tuple construction loop (out-of-range writes are ignored, like
+    // `TupleBuilder::put` documents).
+    let Some(dst) = values.get_mut(slot) else {
+        debug_assert!(false, "slot {slot} outside leaf width {}", values.len());
+        return false;
+    };
     let bit = 1u64 << slot;
     if *present & bit != 0 {
         return false;
     }
     *present |= bit;
     *bytes += per_entry_bytes() + value.approx_size_bytes();
-    values[slot] = value;
+    *dst = value;
     true
 }
 
@@ -407,10 +415,23 @@ impl Tuple {
             let value = decode_value(&mut r)?;
             pairs.push((AttrRef::new(relation, attr), value));
         }
-        // One leaf per relation of the set (relations carrying no
-        // attributes still contribute an empty leaf so the set survives).
-        // Values are *moved* out of the decoded pair list into arena-backed
-        // leaf buffers — no per-leaf pair vector, no value clones.
+        Tuple::from_flattened(ts, ingest_ts, relations, pairs)
+    }
+
+    /// Rebuilds a tuple from its flattened `(attribute, value)` pairs: one
+    /// leaf per relation of the set (joined left-to-right in relation-id
+    /// order; relations carrying no attributes still contribute an empty
+    /// leaf so the set survives). Shared by [`Tuple::from_wire`] and the
+    /// frozen-segment row reconstruction — equality with the original is
+    /// preserved because [`PartialEq`] compares flattened content.
+    pub fn from_flattened(
+        ts: Timestamp,
+        ingest_ts: Timestamp,
+        relations: RelationSet,
+        mut pairs: Vec<(AttrRef, Value)>,
+    ) -> Result<Tuple> {
+        // Values are *moved* out of the pair list into arena-backed leaf
+        // buffers — no per-leaf pair vector, no value clones.
         let mut node: Option<(Arc<Node>, RelationSet)> = None;
         for relation in relations.iter() {
             let width = pairs
@@ -469,6 +490,35 @@ impl Tuple {
             relations,
             node,
         })
+    }
+
+    /// Assembles a single-relation tuple directly from positional slot
+    /// writes — the frozen tier's reconstruction fast path. Skips the
+    /// intermediate pair vector (and its relation bookkeeping) that
+    /// [`Tuple::from_flattened`] needs for multi-relation rows; the
+    /// caller guarantees every slot belongs to `relation` and that
+    /// `width` covers the highest written slot.
+    pub(crate) fn from_slots(
+        ts: Timestamp,
+        ingest_ts: Timestamp,
+        relation: RelationId,
+        width: usize,
+        slots: impl Iterator<Item = (usize, Value)>,
+    ) -> Tuple {
+        let mut values = crate::arena::take_buffer(width);
+        let mut present = 0u64;
+        let mut bytes = 0usize;
+        for (slot, value) in slots {
+            write_slot(&mut values, &mut present, &mut bytes, slot, value);
+        }
+        Tuple {
+            ts,
+            ingest_ts,
+            relations: RelationSet::singleton(relation),
+            node: Arc::new(Node::Base(BaseLeaf::from_parts(
+                relation, present, values, bytes,
+            ))),
+        }
     }
 }
 
@@ -780,13 +830,13 @@ impl<'a> TupleBuilder<'a> {
 
     /// Starts building with a cached [`LeafLayout`] (the catalog caches
     /// one per relation), skipping the per-`set` schema walk.
-    #[inline]
+    #[inline(always)]
     pub fn with_layout(schema: &'a Schema, layout: &'a LeafLayout, ts: Timestamp) -> Self {
         debug_assert_eq!(layout.relation(), schema.relation, "layout mismatch");
         Self::with_layout_opt(schema, Some(layout), ts)
     }
 
-    #[inline]
+    #[inline(always)]
     fn with_layout_opt(schema: &'a Schema, layout: Option<&'a LeafLayout>, ts: Timestamp) -> Self {
         let width = layout.map_or_else(|| schema.arity(), LeafLayout::width);
         assert!(
@@ -822,18 +872,25 @@ impl<'a> TupleBuilder<'a> {
     /// Sets an attribute by schema slot — the positional fast path for
     /// generators and codecs that resolved the slot once up front.
     /// Out-of-range slots are ignored with a debug assertion.
-    #[inline]
+    /// `always`-inlined: the by-value chaining style moves the ~70-byte
+    /// builder through every call, and only full inlining lets the
+    /// optimizer collapse the chain into in-place writes.
+    #[inline(always)]
     pub fn set_slot(mut self, attr: AttrId, value: impl Into<Value>) -> Self {
         self.put(attr.index(), value.into());
         self
     }
 
-    #[inline]
+    #[inline(always)]
     fn put(&mut self, slot: usize, value: Value) {
-        if slot >= self.values.len() {
-            debug_assert!(false, "slot {slot} out of range on {}", self.schema.name);
-            return;
-        }
+        // Range guarding happens once, inside `write_slot` — a second
+        // check here would add a dead branch (and a `value` drop path)
+        // to every slot write.
+        debug_assert!(
+            slot < self.values.len(),
+            "slot {slot} out of range on {}",
+            self.schema.name
+        );
         write_slot(
             &mut self.values,
             &mut self.present,
@@ -845,24 +902,30 @@ impl<'a> TupleBuilder<'a> {
 
     /// Finishes the tuple. The filled buffer becomes the leaf directly —
     /// no re-scan, no copy.
+    ///
+    /// The builder deliberately has no `Drop` impl: one would force the
+    /// compiler to thread drop flags through every by-value `set`/
+    /// `set_slot` move, which measurably slows the per-tuple construction
+    /// chain. The only cost is that an *abandoned* builder frees its
+    /// buffer through the allocator instead of the arena — the built
+    /// leaf still recycles it on expiry, which is the path that matters.
     #[inline]
-    pub fn build(mut self) -> Tuple {
-        let values = std::mem::take(&mut self.values);
-        let leaf = BaseLeaf::from_parts(self.relation, self.present, values, self.bytes);
+    pub fn build(self) -> Tuple {
+        let TupleBuilder {
+            relation,
+            ts,
+            values,
+            present,
+            bytes,
+            ..
+        } = self;
+        let leaf = BaseLeaf::from_parts(relation, present, values, bytes);
         Tuple {
-            ts: self.ts,
-            ingest_ts: self.ts,
-            relations: RelationSet::singleton(self.relation),
+            ts,
+            ingest_ts: ts,
+            relations: RelationSet::singleton(relation),
             node: Arc::new(Node::Base(leaf)),
         }
-    }
-}
-
-/// An abandoned builder returns its buffer to the arena. (`build` empties
-/// the buffer first, so the drop after a successful build is a no-op.)
-impl Drop for TupleBuilder<'_> {
-    fn drop(&mut self) {
-        crate::arena::recycle_buffer(std::mem::take(&mut self.values));
     }
 }
 

@@ -14,9 +14,13 @@
 //!   selectivity `1/rate`, and random queries of a given size; plus the
 //!   4-way linear query scenario with a mid-run selectivity shift used in
 //!   the adaptivity experiments (Fig. 8).
+//! * [`zipf`] — a seeded Zipfian rank sampler for the skew experiments
+//!   (hot-key distributions the uniform generators never produce).
 
 pub mod synthetic;
 pub mod tpch;
+pub mod zipf;
 
 pub use synthetic::{AdaptiveScenario, SyntheticEnv, SyntheticWorkloadConfig};
 pub use tpch::{TpchGenerator, TpchWorkload};
+pub use zipf::ZipfSampler;

@@ -1,0 +1,114 @@
+//! Zipfian key sampling for skew experiments.
+//!
+//! The paper's workloads are generated with uniform key draws, which
+//! makes every posting list the same length and hides the behavior the
+//! state layer actually faces in practice: a handful of hot keys owning
+//! most of the stream. This module provides a small, seeded Zipf sampler
+//! (rank `k` drawn with probability proportional to `1 / k^s`) used by
+//! the skewed store benchmarks and available to workload generators.
+//!
+//! Sampling inverts the cumulative harmonic weights with a binary
+//! search: `O(n)` setup, `O(log n)` per draw, exact probabilities for
+//! any exponent (no rejection loops, no approximation cutoffs), which
+//! is plenty for benchmark-sized domains.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded sampler over ranks `0..n` with Zipf exponent `s`.
+///
+/// Rank 0 is the hottest key. `s = 0` degenerates to the uniform
+/// distribution; `s = 1` is the classic harmonic skew where the top
+/// rank draws roughly `1 / ln(n)` of all samples.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative normalized weights; `cdf[k]` is `P(rank <= k)`.
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s`, deterministic
+    /// for a given `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero or `s` is negative/non-finite — both
+    /// indicate a misconfigured experiment rather than a data condition.
+    pub fn new(n: usize, s: f64, seed: u64) -> ZipfSampler {
+        assert!(n > 0, "zipf domain must be non-empty");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "zipf exponent must be finite and >= 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the tail so a draw of
+        // u ~ 1.0 can never fall past the last rank.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        ZipfSampler {
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of ranks in the domain.
+    pub fn domain(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws the next rank in `0..domain()`.
+    pub fn next_rank(&mut self) -> usize {
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_stay_in_domain_and_are_deterministic() {
+        let mut a = ZipfSampler::new(100, 1.0, 42);
+        let mut b = ZipfSampler::new(100, 1.0, 42);
+        for _ in 0..1_000 {
+            let rank = a.next_rank();
+            assert!(rank < 100);
+            assert_eq!(rank, b.next_rank());
+        }
+    }
+
+    #[test]
+    fn exponent_one_concentrates_mass_on_head_ranks() {
+        let mut sampler = ZipfSampler::new(1_000, 1.0, 7);
+        let draws = 20_000;
+        let head = (0..draws).filter(|_| sampler.next_rank() < 10).count() as f64;
+        // Harmonic CDF puts ~39% of mass on the top 10 of 1000 ranks;
+        // allow generous slack for sampling noise.
+        let frac = head / draws as f64;
+        assert!(frac > 0.3, "head fraction {frac} too low for s=1");
+        let mut uniform = ZipfSampler::new(1_000, 0.0, 7);
+        let uniform_head = (0..draws).filter(|_| uniform.next_rank() < 10).count() as f64;
+        assert!(uniform_head / (draws as f64) < 0.05);
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let mut sampler = ZipfSampler::new(4, 0.0, 11);
+        let mut counts = [0usize; 4];
+        for _ in 0..8_000 {
+            counts[sampler.next_rank()] += 1;
+        }
+        for &c in &counts {
+            assert!((1_600..2_400).contains(&c), "counts {counts:?} not uniform");
+        }
+    }
+}

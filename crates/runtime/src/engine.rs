@@ -67,6 +67,12 @@ pub struct EngineConfig {
     /// overwrites its oldest events, so tracing can stay on permanently;
     /// `0` disables tracing entirely (record calls reduce to one branch).
     pub trace_capacity: usize,
+    /// Epochs an epoch must lag behind the stream clock before its live
+    /// containers are frozen into read-optimized columnar segments
+    /// (compactions run piggybacked on the expiry cadence / epoch
+    /// barriers). `0` disables the cold tier entirely: all state stays in
+    /// the live, insert-optimized form.
+    pub freeze_after_epochs: u64,
 }
 
 impl Default for EngineConfig {
@@ -80,6 +86,7 @@ impl Default for EngineConfig {
             max_inflight_roots: 1 << 16,
             epoch_tick: std::time::Duration::from_millis(1),
             trace_capacity: 4096,
+            freeze_after_epochs: 1,
         }
     }
 }
@@ -421,8 +428,23 @@ impl LocalEngine {
         emitted
     }
 
-    /// Expires out-of-window tuples from every store.
+    /// Expires out-of-window tuples from every store. Before expiring,
+    /// epochs that have fallen [`EngineConfig::freeze_after_epochs`]
+    /// behind the stream clock are compacted into frozen columnar
+    /// segments (so cold state is probed in its read-optimized form and
+    /// expires by segment drop, not per-tuple work).
     pub fn expire_stores(&mut self) -> usize {
+        if self.config.freeze_after_epochs > 0 {
+            let clock = self.config.epoch.epoch_of(self.max_ts);
+            let freeze_horizon = Epoch(clock.0.saturating_sub(self.config.freeze_after_epochs));
+            for (id, store) in self.stores.iter_mut() {
+                let built = store.freeze_before(freeze_horizon);
+                if built > 0 {
+                    self.trace
+                        .record(TraceEventKind::Compaction, u64::from(id.0), built as u64);
+                }
+            }
+        }
         let mut removed = 0;
         for store in self.stores.values_mut() {
             let horizon = store.window.horizon(self.max_ts);
@@ -440,6 +462,11 @@ impl LocalEngine {
     /// Total tuples held across all stores.
     pub fn store_tuples(&self) -> usize {
         self.stores.values().map(|s| s.len()).sum()
+    }
+
+    /// Frozen segments built across all stores since startup.
+    pub fn store_compactions(&self) -> u64 {
+        self.stores.values().map(|s| s.compactions()).sum()
     }
 
     /// Metrics snapshot.
@@ -501,12 +528,16 @@ impl LocalEngine {
             .iter()
             .map(|(id, store)| {
                 let (posting_lists, spilled_postings) = store.posting_stats();
+                let (segments, segment_bytes) = store.segment_stats();
                 crate::parallel::shard::StoreDetail {
                     store: *id,
                     tuples: store.len(),
                     bytes: store.bytes(),
                     posting_lists,
                     spilled_postings,
+                    segments,
+                    segment_bytes,
+                    compactions: store.compactions(),
                 }
             })
             .collect();

@@ -168,6 +168,7 @@ impl ParallelEngine {
                 progress: shared.progress.clone(),
                 symmetric: symmetric.clone(),
                 epoch: config.epoch,
+                freeze_after: config.freeze_after_epochs,
                 plan: plan.clone(),
                 layout: layout.clone(),
                 forward_results,
@@ -1173,6 +1174,9 @@ impl EngineCore {
                     d.bytes += detail.bytes;
                     d.posting_lists += detail.posting_lists;
                     d.spilled_postings += detail.spilled_postings;
+                    d.segments += detail.segments;
+                    d.segment_bytes += detail.segment_bytes;
+                    d.compactions += detail.compactions;
                 }
                 None => by_store.push(*detail),
             }

@@ -187,6 +187,9 @@ pub(crate) struct ShardState {
     /// Pending probers per forward-fed store, indexed by join-key value.
     pending: FxHashMap<StoreId, PendingSet>,
     epoch: EpochConfig,
+    /// Epoch lag before cold epochs freeze into columnar segments
+    /// (`EngineConfig::freeze_after_epochs`; `0` disables the cold tier).
+    freeze_after: u64,
     /// Metrics delta since the last collection barrier.
     pub metrics: EngineMetrics,
     /// Statistics delta since the last collection barrier.
@@ -205,12 +208,14 @@ pub(crate) struct ShardState {
 
 impl ShardState {
     /// Creates the shard with instantiated (empty) stores for `plan`.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         workers: usize,
         plan: Arc<TopologyPlan>,
         layout: &StoreLayout,
         symmetric: Arc<HashSet<StoreId>>,
         epoch: EpochConfig,
+        freeze_after: u64,
         forward_results: bool,
         trace: TraceRing,
     ) -> Self {
@@ -221,6 +226,7 @@ impl ShardState {
             symmetric: Arc::new(HashSet::new()),
             pending: FxHashMap::default(),
             epoch,
+            freeze_after,
             metrics: EngineMetrics::default(),
             stats: StatsCollector::new(epoch.length),
             results: Vec::new(),
@@ -550,8 +556,22 @@ impl ShardState {
     }
 
     /// Expires out-of-window tuples from every owned partition, given the
-    /// maximum stream timestamp observed by the coordinator.
+    /// maximum stream timestamp observed by the coordinator. Epochs that
+    /// lag the stream clock by `freeze_after` epochs are first compacted
+    /// into frozen columnar segments (the pass rides the same expiry /
+    /// collection barriers the epoch driver already triggers).
     pub fn expire(&mut self, upto: Timestamp) -> usize {
+        if self.freeze_after > 0 {
+            let clock = self.epoch.epoch_of(upto);
+            let freeze_horizon = Epoch(clock.0.saturating_sub(self.freeze_after));
+            for (id, store) in self.stores.iter_mut() {
+                let built = store.freeze_before(freeze_horizon);
+                if built > 0 {
+                    self.trace
+                        .record(TraceEventKind::Compaction, u64::from(id.0), built as u64);
+                }
+            }
+        }
         let mut removed = 0;
         for store in self.stores.values_mut() {
             let horizon = store.window.horizon(upto);
@@ -577,12 +597,16 @@ impl ShardState {
             .iter()
             .map(|(id, store)| {
                 let (posting_lists, spilled_postings) = store.posting_stats();
+                let (segments, segment_bytes) = store.segment_stats();
                 StoreDetail {
                     store: *id,
                     tuples: store.len(),
                     bytes: store.bytes(),
                     posting_lists,
                     spilled_postings,
+                    segments,
+                    segment_bytes,
+                    compactions: store.compactions(),
                 }
             })
             .collect();
@@ -605,4 +629,10 @@ pub(crate) struct StoreDetail {
     pub posting_lists: usize,
     /// Posting lists spilled past the inline capacity to a heap vector.
     pub spilled_postings: usize,
+    /// Frozen columnar segments currently held (cold tier).
+    pub segments: usize,
+    /// Live flattened bytes held by the frozen segments.
+    pub segment_bytes: usize,
+    /// Segments built by this shard's stores since startup (monotone).
+    pub compactions: u64,
 }

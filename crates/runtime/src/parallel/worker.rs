@@ -192,6 +192,9 @@ pub(crate) struct WorkerCtx {
     pub symmetric: Arc<HashSet<StoreId>>,
     /// Epoch configuration.
     pub epoch: EpochConfig,
+    /// Epoch lag before cold epochs freeze into columnar segments
+    /// (`EngineConfig::freeze_after_epochs`).
+    pub freeze_after: u64,
     /// Initial plan.
     pub plan: Arc<TopologyPlan>,
     /// Initial store layout.
@@ -214,6 +217,7 @@ pub(crate) fn run_worker(ctx: WorkerCtx, rx: Receiver<WorkerMsg>) {
         progress,
         symmetric,
         epoch,
+        freeze_after,
         plan,
         layout,
         forward_results,
@@ -228,6 +232,7 @@ pub(crate) fn run_worker(ctx: WorkerCtx, rx: Receiver<WorkerMsg>) {
         &layout,
         symmetric,
         epoch,
+        freeze_after,
         forward_results,
         trace,
     );

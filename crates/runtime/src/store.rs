@@ -22,7 +22,8 @@
 //!   [`clash_common::INLINE_POSTINGS`] matches.
 
 use clash_common::{
-    fx_hash, AttrRef, Epoch, FxHashMap, PostingList, SlotAccessor, Timestamp, Tuple, Value, Window,
+    fx_hash, AttrRef, BloomFilter, Epoch, FrozenSegment, FxHashMap, PostingList, SlotAccessor,
+    Timestamp, Tuple, Value, Window,
 };
 use clash_optimizer::StoreDescriptor;
 use clash_query::EquiPredicate;
@@ -223,8 +224,22 @@ pub struct StoreInstance {
     pub window: Window,
     /// Attributes indexed for probing, with precomputed slot accessors.
     indexed_attrs: Vec<IndexedAttr>,
-    /// partition -> epoch -> container.
+    /// Hot tier: partition -> epoch -> live container.
     partitions: Vec<FxHashMap<Epoch, EpochContainer>>,
+    /// Cold tier: partition -> epoch -> frozen columnar segment (built by
+    /// [`Self::freeze_before`]). An epoch may appear in both tiers when a
+    /// late tuple arrives after its freeze — probes check both.
+    frozen: Vec<FxHashMap<Epoch, FrozenSegment>>,
+    /// Tier-level probe pruning: per partition, per indexed-attribute
+    /// position, a bloom over the union of every frozen segment's index
+    /// hashes. One check answers "no frozen segment of this partition
+    /// holds the key" before the per-epoch loop runs, so a cold miss
+    /// costs O(1) instead of O(epochs). `None` = pruning unavailable for
+    /// that position (some segment froze before it was registered);
+    /// rebuilt whenever the partition's segment set changes.
+    frozen_blooms: Vec<Vec<Option<BloomFilter>>>,
+    /// Segments built over the store's lifetime (monotone counter).
+    compactions: u64,
 }
 
 /// Hash used for partition routing (stable across the process — and, with
@@ -241,15 +256,83 @@ pub fn partition_hash(value: &Value, parallelism: usize) -> usize {
 impl StoreInstance {
     /// Creates an empty store.
     pub fn new(descriptor: StoreDescriptor, window: Window, indexed_attrs: Vec<AttrRef>) -> Self {
-        let partitions = (0..descriptor.parallelism.max(1))
-            .map(|_| FxHashMap::default())
-            .collect();
+        let parallelism = descriptor.parallelism.max(1);
         StoreInstance {
             descriptor,
             window,
             indexed_attrs: indexed_attrs.into_iter().map(IndexedAttr::new).collect(),
-            partitions,
+            partitions: (0..parallelism).map(|_| FxHashMap::default()).collect(),
+            frozen: (0..parallelism).map(|_| FxHashMap::default()).collect(),
+            frozen_blooms: (0..parallelism).map(|_| Vec::new()).collect(),
+            compactions: 0,
         }
+    }
+
+    /// Rebuilds partition `p`'s union blooms from its current segment
+    /// set. Runs at segment-set changes (freeze, wholesale drop), never
+    /// per probe; within-segment expiry only advances cursors and leaves
+    /// the blooms a safe superset.
+    fn rebuild_frozen_blooms(&mut self, p: usize) {
+        let segments: Vec<&FrozenSegment> = self.frozen[p].values().collect();
+        self.frozen_blooms[p] = (0..self.indexed_attrs.len())
+            .map(|pos| {
+                let mut total = 0usize;
+                for segment in &segments {
+                    total += segment.index_hashes(pos)?.len();
+                }
+                let mut bloom = BloomFilter::with_capacity(total);
+                for segment in &segments {
+                    for &hash in segment.index_hashes(pos).expect("checked above") {
+                        bloom.insert_hash(hash);
+                    }
+                }
+                Some(bloom)
+            })
+            .collect();
+    }
+
+    /// Freezes every hot epoch container strictly older than `horizon`
+    /// into a columnar [`FrozenSegment`] (cold tier). Epochs that already
+    /// have a segment keep any late-arrival remainder hot — probes merge
+    /// both tiers. Returns the number of segments built by this pass.
+    pub fn freeze_before(&mut self, horizon: Epoch) -> usize {
+        let slots: Vec<SlotAccessor> = self.indexed_attrs.iter().map(|i| i.slot).collect();
+        let mut built = 0usize;
+        let mut changed: Vec<usize> = Vec::new();
+        for (p, (partition, frozen)) in self
+            .partitions
+            .iter_mut()
+            .zip(self.frozen.iter_mut())
+            .enumerate()
+        {
+            let cold: Vec<Epoch> = partition
+                .keys()
+                .filter(|e| **e < horizon && !frozen.contains_key(e))
+                .copied()
+                .collect();
+            let before = built;
+            for epoch in cold {
+                let Some(container) = partition.remove(&epoch) else {
+                    continue;
+                };
+                if container.tuples.is_empty() {
+                    continue;
+                }
+                frozen.insert(
+                    epoch,
+                    FrozenSegment::freeze(container.tuples, container.seqs, &slots),
+                );
+                built += 1;
+            }
+            if built > before {
+                changed.push(p);
+            }
+        }
+        for p in changed {
+            self.rebuild_frozen_blooms(p);
+        }
+        self.compactions += built as u64;
+        built
     }
 
     /// Registers an additional indexed attribute (rules installed later may
@@ -266,6 +349,12 @@ impl StoreInstance {
             for container in partition.values_mut() {
                 container.index_attr(pos, &indexed);
             }
+        }
+        // Existing segments index the new position lazily, so their hash
+        // sets are not available for a union bloom — the position probes
+        // unpruned until those segments expire.
+        for blooms in &mut self.frozen_blooms {
+            blooms.push(None);
         }
     }
 
@@ -377,58 +466,177 @@ impl StoreInstance {
         // attribute, resolved once per probe (not re-hashed per epoch).
         let index_pos: Option<usize> =
             first_stored.and_then(|attr| self.indexed_attrs.iter().position(|i| i.attr == attr));
-        for epoch in epochs {
-            let Some(container) = self.partitions[p].get(epoch) else {
-                continue;
-            };
-            let candidates = match (index_pos, resolved.first()) {
-                (Some(pos), Some((_, value))) => container.candidates(pos, value),
-                _ => Candidates::Scan,
-            };
-            if let Candidates::Hit(postings) = &candidates {
-                results.reserve(postings.len());
-            }
-            // One shared match check, statically dispatched from both the
-            // indexed and the scan path. `checks` lists the predicates
-            // still to verify per candidate: an index *hit* already proves
-            // the driving predicate (the index key equals the probe value,
-            // both non-Null, and map equality coincides with `join_eq` for
-            // non-Null values), so hit candidates skip it.
-            let mut consider = |idx: usize, checks: &[(SlotAccessor, &Value)]| {
-                let stored = &container.tuples[idx];
-                // Only earlier-arrived tuples join (the probing tuple is the
-                // latest constituent of the result) and the window must hold.
-                if stored.ts >= probe.ts || !self.window.contains(probe.ts, stored.ts) {
-                    return;
+        // Frozen-tier probe state, shared across segments: the driving
+        // value's hash is computed at most once per probe, and the
+        // per-segment column resolution reuses one scratch vector.
+        let mut drive_hash: Option<u64> = None;
+        let mut frozen_cols: Vec<(usize, &Value)> = Vec::new();
+        // Tier-level pruning: one union-bloom check decides whether ANY
+        // frozen segment of this partition can hold the driving key. A
+        // cold miss skips the whole frozen tier instead of paying a map
+        // lookup + segment bloom per epoch.
+        let mut try_frozen = !self.frozen[p].is_empty();
+        if try_frozen {
+            if let (Some(pos), Some((_, value))) = (index_pos, resolved.first()) {
+                if let Some(union) = self.frozen_blooms[p].get(pos).and_then(|b| b.as_ref()) {
+                    let hash = *drive_hash.get_or_insert_with(|| fx_hash(*value));
+                    try_frozen = union.contains_hash(hash);
                 }
-                if let Some(seq) = probe_seq {
-                    if container.seqs[idx] >= seq {
+            }
+        }
+        for epoch in epochs {
+            if let Some(container) = self.partitions[p].get(epoch) {
+                let candidates = match (index_pos, resolved.first()) {
+                    (Some(pos), Some((_, value))) => container.candidates(pos, value),
+                    _ => Candidates::Scan,
+                };
+                if let Candidates::Hit(postings) = &candidates {
+                    results.reserve(postings.len());
+                }
+                // One shared match check, statically dispatched from both the
+                // indexed and the scan path. `checks` lists the predicates
+                // still to verify per candidate: an index *hit* already proves
+                // the driving predicate (the index key equals the probe value,
+                // both non-Null, and map equality coincides with `join_eq` for
+                // non-Null values), so hit candidates skip it.
+                let mut consider = |idx: usize, checks: &[(SlotAccessor, &Value)]| {
+                    let stored = &container.tuples[idx];
+                    // Only earlier-arrived tuples join (the probing tuple is the
+                    // latest constituent of the result) and the window must hold.
+                    if stored.ts >= probe.ts || !self.window.contains(probe.ts, stored.ts) {
                         return;
                     }
-                }
-                for (stored_slot, value) in checks {
-                    match stored_slot.get(stored) {
-                        Some(v) if v.join_eq(value) => {}
-                        _ => return,
+                    if let Some(seq) = probe_seq {
+                        if container.seqs[idx] >= seq {
+                            return;
+                        }
+                    }
+                    for (stored_slot, value) in checks {
+                        match stored_slot.get(stored) {
+                            Some(v) if v.join_eq(value) => {}
+                            _ => return,
+                        }
+                    }
+                    results.push(stored.clone());
+                };
+                match candidates {
+                    Candidates::Miss => {}
+                    Candidates::Hit(postings) => {
+                        for &idx in postings {
+                            consider(idx, &resolved[1..]);
+                        }
+                    }
+                    Candidates::Scan => {
+                        for idx in 0..container.tuples.len() {
+                            consider(idx, &resolved);
+                        }
                     }
                 }
-                results.push(stored.clone());
-            };
-            match candidates {
-                Candidates::Miss => {}
-                Candidates::Hit(postings) => {
-                    for &idx in postings {
-                        consider(idx, &resolved[1..]);
-                    }
+            }
+            if let Some(segment) = try_frozen.then(|| self.frozen[p].get(epoch)).flatten() {
+                self.probe_frozen(
+                    segment,
+                    probe,
+                    probe_seq,
+                    &resolved,
+                    index_pos,
+                    &mut drive_hash,
+                    &mut frozen_cols,
+                    &mut results,
+                );
+            }
+        }
+        results
+    }
+
+    /// Probes one frozen segment. Candidates come from the segment's
+    /// hash-run indexes (bloom-gated binary search) or a cursor-bounded
+    /// scan; **every** predicate — including the driving one — is
+    /// re-verified against the columns, because hash runs group by
+    /// `fx_hash(value)` and distinct values can collide. Matches are
+    /// reconstructed into content-equal tuples, so emitted results are
+    /// indistinguishable from live-tier matches.
+    #[allow(clippy::too_many_arguments)]
+    fn probe_frozen<'v>(
+        &self,
+        segment: &FrozenSegment,
+        probe: &Tuple,
+        probe_seq: Option<u64>,
+        resolved: &[(SlotAccessor, &'v Value)],
+        index_pos: Option<usize>,
+        drive_hash: &mut Option<u64>,
+        cols: &mut Vec<(usize, &'v Value)>,
+        results: &mut Vec<Tuple>,
+    ) {
+        // Resolves each predicate's column id into `cols`; `false` means
+        // no row of the segment carries some predicate's attribute, so
+        // nothing can match.
+        fn resolve<'v>(
+            segment: &FrozenSegment,
+            resolved: &[(SlotAccessor, &'v Value)],
+            cols: &mut Vec<(usize, &'v Value)>,
+        ) -> bool {
+            cols.clear();
+            for (slot, value) in resolved {
+                match segment.column_of(&slot.attr()) {
+                    Some(col) => cols.push((col, value)),
+                    None => return false,
                 }
-                Candidates::Scan => {
-                    for idx in 0..container.tuples.len() {
-                        consider(idx, &resolved);
+            }
+            true
+        }
+        let check = |cols: &[(usize, &'v Value)], row: usize| -> bool {
+            let stored_ts = segment.ts(row);
+            if stored_ts >= probe.ts || !self.window.contains(probe.ts, stored_ts) {
+                return false;
+            }
+            if let Some(seq) = probe_seq {
+                if segment.seq(row) >= seq {
+                    return false;
+                }
+            }
+            for &(col, value) in cols {
+                match segment.value_at(col, row) {
+                    Some(v) if v.join_eq(value) => {}
+                    _ => return false,
+                }
+            }
+            true
+        };
+        match (index_pos, resolved.first()) {
+            (Some(pos), Some((_, value))) => {
+                let hash = *drive_hash.get_or_insert_with(|| fx_hash(*value));
+                let accessor = &self.indexed_attrs[pos].slot;
+                segment.with_candidates(pos, accessor, hash, |run| {
+                    // Run offsets ascend, so the expired rows below the
+                    // cursor form a prefix — skip it with one
+                    // `partition_point` (the frozen analogue of the live
+                    // tier's posting-list remap).
+                    let begin = run.partition_point(|&r| (r as usize) < segment.first_live());
+                    let run = &run[begin..];
+                    // Misses (the common case under bloom gating) exit
+                    // before predicate columns are even resolved.
+                    if run.is_empty() || !resolve(segment, resolved, cols) {
+                        return;
+                    }
+                    for &row in run {
+                        if check(cols, row as usize) {
+                            results.push(segment.tuple_at(row as usize));
+                        }
+                    }
+                });
+            }
+            _ => {
+                if !resolve(segment, resolved, cols) {
+                    return;
+                }
+                for row in segment.first_live()..segment.len() {
+                    if check(cols, row) {
+                        results.push(segment.tuple_at(row));
                     }
                 }
             }
         }
-        results
     }
 
     /// Drops tuples older than `horizon` from every partition and epoch,
@@ -443,16 +651,43 @@ impl StoreInstance {
             }
             partition.retain(|_, c| !c.tuples.is_empty());
         }
+        // Frozen tier: each segment advances its ts cursor (one
+        // `partition_point`, no per-tuple work); a fully expired segment
+        // is dropped wholesale with its map entry. Dropping segments
+        // shrinks the partition's key set, so its union blooms rebuild
+        // (cursor-only advances leave them a safe superset).
+        let mut changed: Vec<usize> = Vec::new();
+        for (p, frozen) in self.frozen.iter_mut().enumerate() {
+            let before = frozen.len();
+            frozen.retain(|_, segment| {
+                removed += segment.expire(horizon);
+                !segment.is_empty()
+            });
+            if frozen.len() < before {
+                changed.push(p);
+            }
+        }
+        for p in changed {
+            self.rebuild_frozen_blooms(p);
+        }
         removed
     }
 
-    /// Number of stored tuples across partitions and epochs.
+    /// Number of stored tuples across partitions and epochs, both tiers.
     pub fn len(&self) -> usize {
-        self.partitions
+        let hot: usize = self
+            .partitions
             .iter()
             .flat_map(|p| p.values())
             .map(|c| c.tuples.len())
-            .sum()
+            .sum();
+        let cold: usize = self
+            .frozen
+            .iter()
+            .flat_map(|p| p.values())
+            .map(|s| s.live_len())
+            .sum();
+        hot + cold
     }
 
     /// `true` when the store holds no tuples.
@@ -460,13 +695,40 @@ impl StoreInstance {
         self.len() == 0
     }
 
-    /// Approximate memory footprint of the stored tuples.
+    /// Approximate memory footprint of the stored tuples, both tiers
+    /// (frozen segments use the same flattened-payload accounting).
     pub fn bytes(&self) -> usize {
-        self.partitions
+        let hot: usize = self
+            .partitions
             .iter()
             .flat_map(|p| p.values())
             .map(|c| c.bytes)
-            .sum()
+            .sum();
+        let cold: usize = self
+            .frozen
+            .iter()
+            .flat_map(|p| p.values())
+            .map(|s| s.bytes())
+            .sum();
+        hot + cold
+    }
+
+    /// Cold-tier shape: `(segments, live_bytes)` across all partitions.
+    pub fn segment_stats(&self) -> (usize, usize) {
+        let segments = self.frozen.iter().map(|p| p.len()).sum();
+        let bytes = self
+            .frozen
+            .iter()
+            .flat_map(|p| p.values())
+            .map(|s| s.bytes())
+            .sum();
+        (segments, bytes)
+    }
+
+    /// Segments built over the store's lifetime (monotone; survives
+    /// wholesale segment drops).
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 
     /// Index shape: `(posting_lists, spilled)` across every partition,
@@ -741,6 +1003,93 @@ mod tests {
         let attr_b = AttrRef::new(RelationId::new(1), AttrId::new(1));
         store.add_indexed_attr(attr_b);
         // Probe on S.b = T.b style predicate.
+        let t_schema = Schema::new(RelationId::new(2), "T", ["b"]);
+        let probe = TupleBuilder::new(&t_schema, Timestamp::from_millis(900))
+            .set("b", 50)
+            .build();
+        let pred = EquiPredicate::new(attr_b, AttrRef::new(RelationId::new(2), AttrId::new(0)));
+        assert_eq!(store.probe(0, &[Epoch(0)], &probe, &[pred]).len(), 1);
+    }
+
+    /// Freezing must be invisible to probes: same matches before and
+    /// after, with reconstructed tuples content-equal to the originals.
+    #[test]
+    fn frozen_probe_matches_live_probe_exactly() {
+        let mut live = s_store(1);
+        let mut tiered = s_store(1);
+        for i in 0..16 {
+            let t = s_tuple(i % 4, i, 100 * i as u64 + 1);
+            live.insert(0, Epoch((i % 3) as u64), t.clone());
+            tiered.insert(0, Epoch((i % 3) as u64), t);
+        }
+        assert_eq!(tiered.freeze_before(Epoch(2)), 2, "epochs 0 and 1 freeze");
+        assert_eq!(tiered.compactions(), 2);
+        assert_eq!(tiered.len(), live.len());
+        assert_eq!(tiered.bytes(), live.bytes());
+        let epochs = [Epoch(0), Epoch(1), Epoch(2)];
+        for key in 0..4i64 {
+            let probe = r_tuple(key, 5_000);
+            let mut expect = live.probe(0, &epochs, &probe, &[pred_ra_sa()]);
+            let mut got = tiered.probe(0, &epochs, &probe, &[pred_ra_sa()]);
+            expect.sort_by_key(|t| t.ts);
+            got.sort_by_key(|t| t.ts);
+            assert_eq!(got, expect, "key {key}");
+        }
+    }
+
+    /// Late arrivals into an already-frozen epoch stay hot; probes merge
+    /// both tiers for that epoch.
+    #[test]
+    fn late_insert_after_freeze_is_still_probed() {
+        let mut store = s_store(1);
+        store.insert(0, Epoch(0), s_tuple(1, 1, 100));
+        assert_eq!(store.freeze_before(Epoch(1)), 1);
+        store.insert(0, Epoch(0), s_tuple(1, 2, 200));
+        // A second freeze pass leaves the late remainder hot.
+        assert_eq!(store.freeze_before(Epoch(1)), 0);
+        let probe = r_tuple(1, 1_000);
+        assert_eq!(
+            store.probe(0, &[Epoch(0)], &probe, &[pred_ra_sa()]).len(),
+            2
+        );
+        assert_eq!(store.len(), 2);
+    }
+
+    /// Expiring a frozen epoch advances its cursor (exact counts) and a
+    /// fully expired segment drops wholesale.
+    #[test]
+    fn frozen_expiry_counts_exactly_and_drops_wholesale() {
+        let mut store = s_store(1);
+        for i in 0..10 {
+            store.insert(0, Epoch(0), s_tuple(1, i, 100 * i as u64));
+        }
+        assert_eq!(store.freeze_before(Epoch(1)), 1);
+        assert_eq!(store.expire(Timestamp::from_millis(500)), 5);
+        assert_eq!(store.len(), 5);
+        let (segments, bytes) = store.segment_stats();
+        assert_eq!(segments, 1);
+        assert!(bytes > 0);
+        let probe = r_tuple(1, 10_000);
+        assert_eq!(
+            store.probe(0, &[Epoch(0)], &probe, &[pred_ra_sa()]).len(),
+            5
+        );
+        store.expire(Timestamp::from_millis(100_000));
+        assert!(store.is_empty());
+        assert_eq!(store.segment_stats(), (0, 0));
+        assert_eq!(store.compactions(), 1, "the counter survives the drop");
+    }
+
+    /// An attribute indexed after the freeze probes the segment through a
+    /// lazily built hash run (and keeps matching the scan answer).
+    #[test]
+    fn add_indexed_attr_after_freeze_probes_lazily() {
+        let mut store = s_store(1);
+        store.insert(0, Epoch(0), s_tuple(5, 50, 100));
+        store.insert(0, Epoch(0), s_tuple(6, 60, 200));
+        assert_eq!(store.freeze_before(Epoch(1)), 1);
+        let attr_b = AttrRef::new(RelationId::new(1), AttrId::new(1));
+        store.add_indexed_attr(attr_b);
         let t_schema = Schema::new(RelationId::new(2), "T", ["b"]);
         let probe = TupleBuilder::new(&t_schema, Timestamp::from_millis(900))
             .set("b", 50)

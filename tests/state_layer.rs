@@ -1,8 +1,9 @@
 //! Property tests for the allocation- and hash-lean state layer: the
 //! arena-backed `TupleBuilder` against the pair-vector `Tuple::base`
-//! reference, and the inline-posting store indexes against a
-//! rebuilt-from-scratch oracle under interleaved insert / expire /
-//! `add_indexed_attr` sequences.
+//! reference, and the two-tier store (hot inline-posting indexes +
+//! frozen columnar segments) against a rebuilt-from-scratch oracle
+//! under interleaved insert / expire / `add_indexed_attr` /
+//! `freeze_before` sequences spread over multiple epochs.
 
 use clash_common::{
     arena_stats, AttrId, AttrRef, Epoch, LeafLayout, RelationId, RelationSet, Schema, Timestamp,
@@ -160,11 +161,14 @@ fn stored_tuple(schema: &Schema, rng: &mut StdRng, ts: u64, key_domain: i64) -> 
 }
 
 proptest! {
-    /// Interleaved insert / expire / `add_indexed_attr` sequences keep
-    /// the inline-posting indexes consistent with a scan oracle: every
-    /// probe (on the originally indexed attribute, the later-indexed one
-    /// and the never-indexed scan fallback) returns exactly the oracle's
-    /// match count.
+    /// Interleaved insert / expire / `add_indexed_attr` / `freeze_before`
+    /// sequences over multiple epochs keep both state tiers consistent
+    /// with a scan oracle: every probe (on the originally indexed
+    /// attribute, the later-indexed one and the never-indexed scan
+    /// fallback) returns exactly the oracle's match count, no matter how
+    /// the tuples are split between hot containers and frozen segments —
+    /// including late inserts into already-frozen epochs and probes that
+    /// the frozen tier's union blooms prune wholesale.
     #[test]
     fn store_indexes_match_scan_oracle(seed in 0u64..1_000_000) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -181,11 +185,15 @@ proptest! {
             vec![attr(0)],
         );
         let mut oracle = Oracle { tuples: Vec::new(), window };
+        // Tuples land in one of four epochs; probes always cover all of
+        // them, so the hot/frozen split per epoch is invisible to results.
+        const EPOCHS: u64 = 4;
+        let epochs: Vec<Epoch> = (0..EPOCHS).map(Epoch).collect();
         let mut now = 0u64;
         let mut b_indexed = false;
 
         for _ in 0..rng.gen_range(10..60usize) {
-            match rng.gen_range(0..10u32) {
+            match rng.gen_range(0..12u32) {
                 // Expire a random horizon (sometimes everything).
                 0 | 1 => {
                     let horizon = Timestamp::from_millis(now.saturating_sub(rng.gen_range(0..12_000u64)));
@@ -194,7 +202,8 @@ proptest! {
                     oracle.tuples.retain(|t| t.ts >= horizon);
                     prop_assert_eq!(removed, before - oracle.tuples.len());
                 }
-                // Index S.b mid-stream (idempotent after the first call).
+                // Index S.b mid-stream (idempotent after the first call;
+                // frozen segments index it lazily on first probe).
                 2 => {
                     store.add_indexed_attr(attr(1));
                     b_indexed = true;
@@ -205,14 +214,21 @@ proptest! {
                 3 => {
                     let ts = now.saturating_sub(rng.gen_range(0..4_000u64)).max(1);
                     let t = stored_tuple(&schema, &mut rng, ts, key_domain);
-                    store.insert(0, Epoch(0), t.clone());
+                    store.insert(0, Epoch(rng.gen_range(0..EPOCHS)), t.clone());
                     oracle.tuples.push(t);
+                }
+                // Freeze every hot epoch below a random horizon into the
+                // columnar tier. Epochs frozen earlier keep any late
+                // arrivals hot, so probes must merge both tiers. The
+                // oracle is untouched: freezing must not change results.
+                4 | 5 => {
+                    store.freeze_before(Epoch(rng.gen_range(0..EPOCHS + 1)));
                 }
                 // Insert at an advancing timestamp.
                 _ => {
                     now += rng.gen_range(1..2_000u64);
                     let t = stored_tuple(&schema, &mut rng, now, key_domain);
-                    store.insert(0, Epoch(0), t.clone());
+                    store.insert(0, Epoch(rng.gen_range(0..EPOCHS)), t.clone());
                     oracle.tuples.push(t);
                 }
             }
@@ -235,28 +251,28 @@ proptest! {
                 // Indexed from the start.
                 let pred_a = EquiPredicate::new(attr(0), probe_attr(0));
                 prop_assert_eq!(
-                    store.probe(0, &[Epoch(0)], &probe, std::slice::from_ref(&pred_a)).len(),
+                    store.probe(0, &epochs, &probe, std::slice::from_ref(&pred_a)).len(),
                     oracle.probe_count(&probe, &[(attr(0), probe_attr(0))]),
                     "key {} on indexed attribute", key
                 );
                 // Indexed mid-stream or still scanning, depending on ops.
                 let pred_b = EquiPredicate::new(attr(1), probe_attr(1));
                 prop_assert_eq!(
-                    store.probe(0, &[Epoch(0)], &probe, std::slice::from_ref(&pred_b)).len(),
+                    store.probe(0, &epochs, &probe, std::slice::from_ref(&pred_b)).len(),
                     oracle.probe_count(&probe, &[(attr(1), probe_attr(1))]),
                     "key {} on {} attribute", key, if b_indexed { "late-indexed" } else { "unindexed" }
                 );
                 // Never indexed: exercises the scan-marker path.
                 let pred_c = EquiPredicate::new(attr(2), probe_attr(2));
                 prop_assert_eq!(
-                    store.probe(0, &[Epoch(0)], &probe, std::slice::from_ref(&pred_c)).len(),
+                    store.probe(0, &epochs, &probe, std::slice::from_ref(&pred_c)).len(),
                     oracle.probe_count(&probe, &[(attr(2), probe_attr(2))]),
                     "key {} on scan fallback", key
                 );
                 // Conjunction of an indexed and an unindexed predicate.
                 let both = [pred_a, pred_c];
                 prop_assert_eq!(
-                    store.probe(0, &[Epoch(0)], &probe, &both).len(),
+                    store.probe(0, &epochs, &probe, &both).len(),
                     oracle.probe_count(
                         &probe,
                         &[(attr(0), probe_attr(0)), (attr(2), probe_attr(2))]
