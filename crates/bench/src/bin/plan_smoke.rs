@@ -1,0 +1,127 @@
+//! CI smoke: every plan behind the paper's benchmark figures must pass
+//! the static verifier with zero errors, under every strategy.
+//!
+//! Covers the Fig. 7 TPC-H multi-query workloads (five and ten queries),
+//! the Fig. 8 adaptive scenario and a sweep of Fig. 9 random synthetic
+//! workloads. Any Error-level diagnostic fails the run (exit 1);
+//! warnings are printed but tolerated.
+//!
+//! Run with: `cargo run --release -p clash-bench --bin plan_smoke`
+
+use std::process::ExitCode;
+
+use clash_analyzer::{errors, verify_plan_with_queries};
+use clash_catalog::{Catalog, Statistics};
+use clash_common::{Timestamp, Window};
+use clash_datagen::{AdaptiveScenario, SyntheticEnv, SyntheticWorkloadConfig, TpchWorkload};
+use clash_optimizer::{Planner, PlannerConfig, Strategy};
+use clash_query::JoinQuery;
+
+const STRATEGIES: [Strategy; 3] = [Strategy::Independent, Strategy::Shared, Strategy::GlobalIlp];
+
+/// Plans `queries` under every strategy and verifies each plan, counting
+/// errors and warnings into the totals. Returns the number of failing
+/// (Error-carrying) plans.
+fn check(
+    label: &str,
+    catalog: &Catalog,
+    stats: &Statistics,
+    queries: &[JoinQuery],
+    warnings: &mut usize,
+) -> usize {
+    let mut failing = 0;
+    for strategy in STRATEGIES {
+        let planner = Planner::new(catalog, stats, PlannerConfig::default());
+        let report = match planner.plan(queries, strategy) {
+            Ok(report) => report,
+            Err(e) => {
+                println!("FAIL {label} [{strategy:?}]: planning failed: {e}");
+                failing += 1;
+                continue;
+            }
+        };
+        let diags = verify_plan_with_queries(catalog, queries, &report.plan);
+        let errs = errors(&diags);
+        for d in &diags {
+            if !d.is_error() {
+                println!("  warn {label} [{strategy:?}]: {d}");
+                *warnings += 1;
+            }
+        }
+        if errs.is_empty() {
+            println!(
+                "ok   {label} [{strategy:?}]: {} stores, {} rule sets, clean",
+                report.plan.num_stores(),
+                report.plan.rules.len()
+            );
+        } else {
+            failing += 1;
+            println!("FAIL {label} [{strategy:?}]:");
+            for d in errs {
+                println!("  {d}");
+            }
+        }
+    }
+    failing
+}
+
+fn main() -> ExitCode {
+    let mut failing = 0;
+    let mut warnings = 0;
+
+    // Fig. 7: the TPC-H multi-query workloads, five and ten queries.
+    let workload = TpchWorkload::new(2, Window::secs(3600)).expect("tpch workload");
+    let five = workload.five_queries().expect("five queries");
+    let ten = workload.ten_queries().expect("ten queries");
+    failing += check(
+        "fig7/5q",
+        &workload.catalog,
+        &workload.stats,
+        &five,
+        &mut warnings,
+    );
+    failing += check(
+        "fig7/10q",
+        &workload.catalog,
+        &workload.stats,
+        &ten,
+        &mut warnings,
+    );
+
+    // Fig. 8: the adaptive re-optimization scenario's query.
+    let scenario =
+        AdaptiveScenario::new(200, Timestamp::from_millis(30_000), 42).expect("scenario");
+    let query = vec![scenario.query.clone()];
+    failing += check(
+        "fig8/adaptive",
+        &scenario.catalog,
+        &scenario.stats,
+        &query,
+        &mut warnings,
+    );
+
+    // Fig. 9: random synthetic workloads across sizes and parallelism.
+    for (seed, num_queries, query_size, parallelism) in
+        [(1, 2, 3, 1), (2, 3, 3, 2), (3, 4, 4, 2), (4, 5, 3, 4)]
+    {
+        let config = SyntheticWorkloadConfig {
+            parallelism,
+            ..SyntheticWorkloadConfig::default()
+        };
+        let mut env = SyntheticEnv::new(config, seed).expect("synthetic env");
+        let queries = env
+            .random_queries(num_queries, query_size)
+            .expect("random queries");
+        let label = format!("fig9/seed{seed}-q{num_queries}x{query_size}-p{parallelism}");
+        failing += check(&label, &env.catalog, &env.stats, &queries, &mut warnings);
+    }
+
+    println!();
+    if failing == 0 {
+        println!("plan smoke passed: all benchmark plans verify clean ({warnings} warnings)");
+        ExitCode::SUCCESS
+    } else {
+        println!("plan smoke FAILED: {failing} plan(s) carry Error diagnostics");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,137 @@
+//! Typed diagnostics for static plan analysis.
+//!
+//! The `clash-analyzer` crate checks topology plans before they are
+//! installed and reports its findings as [`Diagnostic`] values. The type
+//! lives here (not in the analyzer) because [`crate::ClashError`] carries
+//! rejected-plan diagnostics in its `InvalidPlan` variant and every crate
+//! depends on `clash-common`.
+//!
+//! Codes are stable (`P001`, `P002`, ...): tests and operators match on
+//! them, so a code is never reused for a different condition. The
+//! reference table lives in DESIGN.md.
+
+use crate::ids::{EdgeId, QueryId, StoreId};
+use std::fmt;
+
+/// How severe a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but executable (e.g. dead rule sets): the plan installs.
+    Warning,
+    /// The plan would compute wrong results, lose tuples or not terminate:
+    /// `install_plan` rejects it.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding of the static plan analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code (`P001`, ...). Never reused across conditions.
+    pub code: &'static str,
+    /// Whether the finding blocks installation.
+    pub severity: Severity,
+    /// Store the finding is anchored at, when one exists.
+    pub store: Option<StoreId>,
+    /// Incoming edge of the rule set involved, when one exists.
+    pub edge: Option<EdgeId>,
+    /// Query the finding concerns, when one exists.
+    pub query: Option<QueryId>,
+    /// Human-readable description of the condition.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates an error-severity diagnostic with no context attached.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            store: None,
+            edge: None,
+            query: None,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a warning-severity diagnostic with no context attached.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, message)
+        }
+    }
+
+    /// Attaches the store the finding is anchored at.
+    pub fn at_store(mut self, store: StoreId) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Attaches the incoming edge of the rule set involved.
+    pub fn at_edge(mut self, edge: EdgeId) -> Self {
+        self.edge = Some(edge);
+        self
+    }
+
+    /// Attaches the query the finding concerns.
+    pub fn for_query(mut self, query: QueryId) -> Self {
+        self.query = Some(query);
+        self
+    }
+
+    /// Whether this finding blocks installation.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code)?;
+        if let Some(s) = self.store {
+            write!(f, " {s}")?;
+        }
+        if let Some(e) = self.edge {
+            write!(f, "/{e}")?;
+        }
+        if let Some(q) = self.query {
+            write!(f, " ({q})")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_code_context_and_message() {
+        let d = Diagnostic::error("P001", "dangling store")
+            .at_store(StoreId::new(3))
+            .at_edge(EdgeId::new(7));
+        assert_eq!(d.to_string(), "error[P001] St3/e7: dangling store");
+        assert!(d.is_error());
+    }
+
+    #[test]
+    fn warning_is_not_an_error() {
+        let d = Diagnostic::warning("P003", "orphan rule set").for_query(QueryId::new(2));
+        assert!(!d.is_error());
+        assert_eq!(d.to_string(), "warning[P003] (Q2): orphan rule set");
+    }
+
+    #[test]
+    fn severity_orders_error_above_warning() {
+        assert!(Severity::Error > Severity::Warning);
+    }
+}

@@ -1,5 +1,6 @@
 //! Error type shared across the CLASH crates.
 
+use crate::diagnostic::Diagnostic;
 use std::fmt;
 
 /// Convenience result alias used throughout the workspace.
@@ -32,6 +33,9 @@ pub enum ClashError {
     Shutdown,
     /// Configuration error (invalid window, epoch length of zero, ...).
     Config(String),
+    /// A topology plan failed static verification: `install_plan` rejects
+    /// it before quiescing, carrying the error-level diagnostics.
+    InvalidPlan(Vec<Diagnostic>),
 }
 
 impl fmt::Display for ClashError {
@@ -44,6 +48,13 @@ impl fmt::Display for ClashError {
             ClashError::Runtime(s) => write!(f, "runtime error: {s}"),
             ClashError::Shutdown => write!(f, "engine has been shut down"),
             ClashError::Config(s) => write!(f, "configuration error: {s}"),
+            ClashError::InvalidPlan(diags) => {
+                write!(f, "invalid plan ({} finding(s))", diags.len())?;
+                for d in diags {
+                    write!(f, "; {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -92,6 +103,15 @@ mod tests {
             ClashError::Shutdown.to_string(),
             "engine has been shut down"
         );
+    }
+
+    #[test]
+    fn invalid_plan_lists_diagnostics() {
+        let e = ClashError::InvalidPlan(vec![Diagnostic::error("P001", "dangling store")]);
+        let text = e.to_string();
+        assert!(text.contains("invalid plan"));
+        assert!(text.contains("P001"));
+        assert!(text.contains("dangling store"));
     }
 
     #[test]

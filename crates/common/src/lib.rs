@@ -13,6 +13,7 @@
 
 pub mod arena;
 pub mod bloom;
+pub mod diagnostic;
 pub mod error;
 pub mod fxhash;
 pub mod ids;
@@ -27,6 +28,7 @@ pub mod value;
 
 pub use arena::{arena_stats, ArenaStats};
 pub use bloom::BloomFilter;
+pub use diagnostic::{Diagnostic, Severity};
 pub use error::{ClashError, Result};
 pub use fxhash::{fx_hash, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{AttrId, EdgeId, QueryId, RelationId, StoreId, WorkerId};

@@ -389,6 +389,18 @@ impl ClashSystem {
                 .map(|c| lock_controller(c).reconfigurations)
                 .unwrap_or(0)
         ));
+        page.push_str(
+            "# HELP clash_candidate_rejections_total Candidate plans the \
+             static analyzer rejected at install time; the live plan kept \
+             running.\n# TYPE clash_candidate_rejections_total counter\n",
+        );
+        page.push_str(&format!(
+            "clash_candidate_rejections_total {}\n",
+            self.controller
+                .as_ref()
+                .map(|c| lock_controller(c).rejected_candidates)
+                .unwrap_or(0)
+        ));
         Ok(page)
     }
 
@@ -408,6 +420,15 @@ impl ClashSystem {
         self.controller
             .as_ref()
             .map(|c| lock_controller(c).reconfigurations)
+            .unwrap_or(0)
+    }
+
+    /// Number of candidate plans the static analyzer rejected at install
+    /// time (the controller dropped them and kept the live plan).
+    pub fn rejected_candidates(&self) -> usize {
+        self.controller
+            .as_ref()
+            .map(|c| lock_controller(c).rejected_candidates)
             .unwrap_or(0)
     }
 

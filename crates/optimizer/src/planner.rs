@@ -126,7 +126,7 @@ impl<'a> Planner<'a> {
         };
 
         let share_stores = !matches!(strategy, Strategy::Independent);
-        let plan = TopologyBuilder::new(queries, share_stores).build(&selection);
+        let plan = TopologyBuilder::new(queries, share_stores).build(&selection)?;
         let shared_cost = match strategy {
             // Without sharing, every query pays its own probe cost.
             Strategy::Independent => individual_cost,

@@ -18,7 +18,9 @@
 use crate::candidate::DecoratedProbeOrder;
 use crate::ilp_builder::Selection;
 use crate::store::StoreDescriptor;
-use clash_common::{AttrRef, EdgeId, QueryId, RelationId, RelationSet, StoreId};
+use clash_common::{
+    AttrRef, ClashError, Diagnostic, EdgeId, QueryId, RelationId, RelationSet, Result, StoreId,
+};
 use clash_query::{EquiPredicate, JoinQuery};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -191,11 +193,14 @@ impl<'a> TopologyBuilder<'a> {
         }
     }
 
-    fn query(&self, id: QueryId) -> &JoinQuery {
-        self.queries
-            .iter()
-            .find(|q| q.id == id)
-            .expect("selection references an unknown query")
+    fn query(&self, id: QueryId) -> Result<&JoinQuery> {
+        self.queries.iter().find(|q| q.id == id).ok_or_else(|| {
+            ClashError::InvalidPlan(vec![Diagnostic::error(
+                "P020",
+                format!("selection references {id}, which is not in the workload"),
+            )
+            .for_query(id)])
+        })
     }
 
     /// Attribute of the sending tuple (covering `head`) that determines the
@@ -234,7 +239,7 @@ impl<'a> TopologyBuilder<'a> {
         order: &DecoratedProbeOrder,
         owner: Option<QueryId>,
         terminal: Vec<OutputAction>,
-    ) -> Option<SendTarget> {
+    ) -> Result<Option<SendTarget>> {
         let query = self
             .query(if order.query.0 >= u32::MAX - 1024 {
                 // Sub-query orders reference synthetic ids; their predicates are
@@ -248,9 +253,9 @@ impl<'a> TopologyBuilder<'a> {
                     .unwrap_or(order.query)
             } else {
                 order.query
-            })
+            })?
             .id;
-        let query = self.query(query);
+        let query = self.query(query)?;
 
         let mut first_target = None;
         let mut head = RelationSet::singleton(order.order.start);
@@ -328,11 +333,16 @@ impl<'a> TopologyBuilder<'a> {
                 }
             }
         }
-        first_target
+        Ok(first_target)
     }
 
     /// Builds a topology plan from a selection of probe orders.
-    pub fn build(&self, selection: &Selection) -> TopologyPlan {
+    ///
+    /// Fails with [`ClashError::InvalidPlan`] when the selection is
+    /// inconsistent with the workload (diagnostics `P020`/`P021`); the
+    /// full semantic verification of the *built* plan lives in the
+    /// `clash-analyzer` crate, which this crate cannot depend on.
+    pub fn build(&self, selection: &Selection) -> Result<TopologyPlan> {
         let mut state = PlanState::new();
         let mut trie: HashMap<String, (StoreId, EdgeId)> = HashMap::new();
 
@@ -387,7 +397,7 @@ impl<'a> TopologyBuilder<'a> {
                 // Single-relation query: every arriving tuple is a result.
                 continue;
             }
-            if let Some(first) = self.add_order(&mut state, &mut trie, order, owner, terminal) {
+            if let Some(first) = self.add_order(&mut state, &mut trie, order, owner, terminal)? {
                 state
                     .ingest
                     .entry(order.order.start)
@@ -417,7 +427,7 @@ impl<'a> TopologyBuilder<'a> {
             if terminal.is_empty() {
                 continue;
             }
-            if let Some(first) = self.add_order(&mut state, &mut trie, order, None, terminal) {
+            if let Some(first) = self.add_order(&mut state, &mut trie, order, None, terminal)? {
                 state
                     .ingest
                     .entry(order.order.start)
@@ -429,10 +439,16 @@ impl<'a> TopologyBuilder<'a> {
         // 4. Ingestion into the base stores themselves (store rules).
         for (store_id, edge) in base_store_edges.values() {
             let descriptor = state.stores[store_id.index()].descriptor;
-            let relation = descriptor
-                .relations
-                .as_singleton()
-                .expect("base store covers one relation");
+            let relation = descriptor.relations.as_singleton().ok_or_else(|| {
+                ClashError::InvalidPlan(vec![Diagnostic::error(
+                    "P021",
+                    format!(
+                        "base store {store_id} covers {} relations instead of one",
+                        descriptor.relations.len()
+                    ),
+                )
+                .at_store(*store_id)])
+            })?;
             state.ingest.entry(relation).or_default().push(SendTarget {
                 edge: *edge,
                 store: *store_id,
@@ -455,13 +471,41 @@ impl<'a> TopologyBuilder<'a> {
         queries.sort();
         queries.dedup();
 
-        TopologyPlan {
+        let plan = TopologyPlan {
             stores: state.stores,
             rules: state.rules,
             ingest,
             queries,
             estimated_cost: selection.shared_cost,
+        };
+
+        // Debug-build self-check of the structural invariants the runtime
+        // relies on. The full semantic analysis (schema checks, partition
+        // safety, completeness) runs in `clash-analyzer` at install time.
+        #[cfg(debug_assertions)]
+        {
+            for (i, def) in plan.stores.iter().enumerate() {
+                debug_assert_eq!(def.id.index(), i, "store table must be dense");
+            }
+            for route in &plan.ingest {
+                for t in &route.targets {
+                    debug_assert!(
+                        plan.store(t.store).is_some(),
+                        "ingest target {}/{} dangles",
+                        t.store,
+                        t.edge
+                    );
+                    debug_assert!(
+                        plan.rules.contains_key(&(t.store, t.edge)),
+                        "ingest target {}/{} has no rule set",
+                        t.store,
+                        t.edge
+                    );
+                }
+            }
         }
+
+        Ok(plan)
     }
 }
 
@@ -525,7 +569,9 @@ mod tests {
                 ..PlanSpaceConfig::default()
             },
         );
-        let plan = TopologyBuilder::new(&queries, true).build(&selection);
+        let plan = TopologyBuilder::new(&queries, true)
+            .build(&selection)
+            .unwrap();
         // Every store is a base store; every query relation appears.
         assert!(plan.stores.iter().all(|s| s.descriptor.is_base()));
         for q in &queries {
@@ -565,8 +611,12 @@ mod tests {
             ..PlanSpaceConfig::default()
         };
         let (selection, _) = optimal_selection(&catalog, &stats, &queries, &config);
-        let shared = TopologyBuilder::new(&queries, true).build(&selection);
-        let independent = TopologyBuilder::new(&queries, false).build(&selection);
+        let shared = TopologyBuilder::new(&queries, true)
+            .build(&selection)
+            .unwrap();
+        let independent = TopologyBuilder::new(&queries, false)
+            .build(&selection)
+            .unwrap();
         // Both queries touch S and T, so the independent plan must hold
         // more stores than the shared plan.
         assert!(independent.num_stores() > shared.num_stores());
@@ -586,7 +636,9 @@ mod tests {
             ..PlanSpaceConfig::default()
         };
         let (selection, _) = optimal_selection(&catalog, &stats, &queries, &config);
-        let plan = TopologyBuilder::new(&queries, true).build(&selection);
+        let plan = TopologyBuilder::new(&queries, true)
+            .build(&selection)
+            .unwrap();
         // Each query must have at least one Emit action per starting
         // relation (every probe order ends in one).
         let mut emit_count: HashMap<QueryId, usize> = HashMap::new();
@@ -623,7 +675,9 @@ mod tests {
         let (catalog, stats, queries) = setup();
         let (selection, _) =
             optimal_selection(&catalog, &stats, &queries, &PlanSpaceConfig::default());
-        let plan = TopologyBuilder::new(&queries, true).build(&selection);
+        let plan = TopologyBuilder::new(&queries, true)
+            .build(&selection)
+            .unwrap();
         for route in &plan.ingest {
             for t in &route.targets {
                 let store = plan.store(t.store).unwrap();
@@ -643,7 +697,9 @@ mod tests {
         let (catalog, stats, queries) = setup();
         let (selection, _) =
             optimal_selection(&catalog, &stats, &queries, &PlanSpaceConfig::default());
-        let plan = TopologyBuilder::new(&queries, true).build(&selection);
+        let plan = TopologyBuilder::new(&queries, true)
+            .build(&selection)
+            .unwrap();
         let mir_stores: Vec<&StoreDef> = plan
             .stores
             .iter()

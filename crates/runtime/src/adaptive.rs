@@ -10,7 +10,7 @@
 
 use crate::engine::EngineControl;
 use clash_catalog::{Catalog, Statistics};
-use clash_common::{Epoch, QueryId, Result};
+use clash_common::{ClashError, Epoch, QueryId, Result};
 use clash_optimizer::{Planner, PlannerConfig, Strategy, TopologyPlan};
 use clash_query::JoinQuery;
 
@@ -78,6 +78,10 @@ pub struct AdaptiveController {
     pending: Option<(Epoch, TopologyPlan)>,
     /// Number of reconfigurations actually installed.
     pub reconfigurations: usize,
+    /// Candidate plans the engine's static analyzer rejected
+    /// ([`ClashError::InvalidPlan`]): such a candidate is dropped — not
+    /// retried — and the live plan keeps running.
+    pub rejected_candidates: usize,
     /// Cost-model output of the most recent full evaluation (telemetry).
     pub last_decision: Option<ControllerDecision>,
 }
@@ -103,6 +107,7 @@ impl AdaptiveController {
                 queries_dirty: false,
                 pending: None,
                 reconfigurations: 0,
+                rejected_candidates: 0,
                 last_decision: None,
             },
             report.plan,
@@ -146,9 +151,11 @@ impl AdaptiveController {
     /// epoch) and *empty epochs* (no arrivals were recorded — without
     /// fresh observations re-planning would run on stale statistics and
     /// could flap configurations, so it is skipped unless the query set
-    /// changed). An install failure ([`EngineControl::install_plan`]
+    /// changed). A transient install failure ([`EngineControl::install_plan`]
     /// errors) keeps the pending plan so a later epoch can retry, and
-    /// propagates the error.
+    /// propagates the error — except [`ClashError::InvalidPlan`]: a
+    /// statically invalid candidate is dropped (counted in
+    /// [`Self::rejected_candidates`]) and the live plan keeps running.
     pub fn on_epoch<E: EngineControl>(
         &mut self,
         engine: &mut E,
@@ -159,13 +166,25 @@ impl AdaptiveController {
         let mut installed = false;
         if let Some((effective, plan)) = self.pending.take() {
             if current_epoch >= effective && self.last_installed_epoch != Some(current_epoch) {
-                if let Err(e) = engine.install_plan(plan.clone()) {
-                    self.pending = Some((effective, plan));
-                    return Err(e);
+                match engine.install_plan(plan.clone()) {
+                    Ok(()) => {
+                        self.last_installed_epoch = Some(current_epoch);
+                        self.reconfigurations += 1;
+                        installed = true;
+                    }
+                    // The candidate itself is broken: retrying it at a
+                    // later epoch would fail the same way, so drop it and
+                    // keep the live plan (a later evaluation re-plans from
+                    // fresh statistics). Transient engine failures keep
+                    // the pending plan for a retry instead.
+                    Err(ClashError::InvalidPlan(_)) => {
+                        self.rejected_candidates += 1;
+                    }
+                    Err(e) => {
+                        self.pending = Some((effective, plan));
+                        return Err(e);
+                    }
                 }
-                self.last_installed_epoch = Some(current_epoch);
-                self.reconfigurations += 1;
-                installed = true;
             } else {
                 self.pending = Some((effective, plan));
             }
@@ -360,8 +379,7 @@ mod tests {
                     self.fail_installs -= 1;
                     return Err(clash_common::ClashError::Shutdown);
                 }
-                self.inner.install_plan(plan);
-                Ok(())
+                self.inner.install_plan(plan)
             }
             fn plan(&self) -> &clash_optimizer::TopologyPlan {
                 self.inner.plan()
@@ -393,6 +411,30 @@ mod tests {
         let installed = controller.on_epoch(&mut failing, Epoch(4)).unwrap();
         assert!(installed, "next epoch retries the kept pending plan");
         assert_eq!(controller.reconfigurations, base + 1);
+    }
+
+    #[test]
+    fn invalid_pending_plan_is_dropped_not_retried() {
+        // A statically invalid candidate must not poison the controller:
+        // the install is rejected by the analyzer gate, the candidate is
+        // dropped (not kept pending for doomed retries), the rejection is
+        // counted, and the live plan keeps running.
+        let (mut controller, mut engine, catalog) = controller_and_engine(true);
+        ingest_some(&mut engine, &catalog, 0, 60);
+        controller.on_epoch(&mut engine, Epoch(1)).unwrap();
+        // Corrupt a copy of the live plan and inject it as pending.
+        let mut bad = engine.plan().clone();
+        bad.ingest[0].targets[0].store = clash_common::StoreId::new(999);
+        controller.pending = Some((Epoch(2), bad));
+        let live = engine.plan().clone();
+        let installed = controller.on_epoch(&mut engine, Epoch(2)).unwrap();
+        assert!(!installed, "rejected candidate must not install");
+        assert_eq!(controller.rejected_candidates, 1);
+        assert!(!controller.has_pending(), "rejected candidate is dropped");
+        assert_eq!(controller.reconfigurations, 0);
+        assert_eq!(*engine.plan(), live, "live plan keeps running");
+        // The engine remains usable after the rejection.
+        ingest_some(&mut engine, &catalog, 2_100, 10);
     }
 
     #[test]

@@ -20,7 +20,6 @@ use clash_common::{
     Window,
 };
 use clash_optimizer::{OutputAction, Rule, SendTarget, TopologyPlan};
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -202,7 +201,9 @@ impl LocalEngine {
             since_expiry: 0,
             trace: TraceRing::new(config.trace_capacity, 0),
         };
-        engine.install_plan(plan);
+        engine
+            .install_plan(plan)
+            .expect("initial plan failed static verification");
         engine
     }
 
@@ -215,10 +216,18 @@ impl LocalEngine {
     /// an existing store keep their state (Section VI-A: rewiring without
     /// losing results); stores that no longer appear are dropped
     /// (reference-count reaching zero in Section VI-B).
-    pub fn install_plan(&mut self, plan: TopologyPlan) {
+    ///
+    /// The plan is statically verified first: an error-level finding
+    /// rejects it with [`ClashError::InvalidPlan`] before any engine state
+    /// is touched, so the previously installed plan keeps running.
+    pub fn install_plan(&mut self, plan: TopologyPlan) -> Result<()> {
+        if let Err(e) = clash_analyzer::gate(&self.catalog, &plan) {
+            self.metrics.plan_rejections += 1;
+            return Err(e);
+        }
         let mut new_stores: FxHashMap<StoreId, StoreInstance> = FxHashMap::default();
         // Index existing stores by descriptor key for state carry-over.
-        let mut existing: HashMap<String, StoreInstance> = self
+        let mut existing: FxHashMap<String, StoreInstance> = self
             .stores
             .drain()
             .map(|(_, s)| (s.descriptor.key(), s))
@@ -245,6 +254,7 @@ impl LocalEngine {
             self.metrics.tuples_ingested,
             self.plan.stores.len() as u64,
         );
+        Ok(())
     }
 
     /// The currently installed plan.
@@ -554,8 +564,7 @@ impl LocalEngine {
 
 impl EngineControl for LocalEngine {
     fn install_plan(&mut self, plan: TopologyPlan) -> Result<()> {
-        LocalEngine::install_plan(self, plan);
-        Ok(())
+        LocalEngine::install_plan(self, plan)
     }
 
     fn plan(&self) -> &TopologyPlan {
@@ -802,10 +811,10 @@ mod tests {
         assert!(tuples_before > 0);
         // Reinstall the same plan: state carried over.
         let plan = engine.plan().clone();
-        engine.install_plan(plan);
+        engine.install_plan(plan).unwrap();
         assert_eq!(engine.store_tuples(), tuples_before);
         // Install an empty plan: every store dropped.
-        engine.install_plan(TopologyPlan::default());
+        engine.install_plan(TopologyPlan::default()).unwrap();
         assert_eq!(engine.store_tuples(), 0);
     }
 

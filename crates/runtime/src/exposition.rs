@@ -91,6 +91,17 @@ pub(crate) fn engine_sections(page: &mut Exposition, metrics: &EngineMetrics) {
         "summary",
     );
     page.quantiles("clash_flush_age_us", &[], &metrics.flush_age);
+
+    page.declare(
+        "clash_plan_rejections_total",
+        "Candidate plans rejected by the static analyzer at install time.",
+        "counter",
+    );
+    page.sample(
+        "clash_plan_rejections_total",
+        &[],
+        metrics.plan_rejections as f64,
+    );
 }
 
 /// Per-store gauges: size and index shape, one sample set per store.

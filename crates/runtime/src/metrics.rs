@@ -2,7 +2,6 @@
 
 use clash_common::{FxHashMap, LatencyHistogram, QueryId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::time::Duration;
 
 /// Aggregated latency statistics in microseconds, extracted from a
@@ -65,6 +64,8 @@ pub struct EngineMetrics {
     pub flush_age: LatencyHistogram,
     /// Wall-clock processing time spent inside `ingest`.
     pub busy: Duration,
+    /// Candidate plans rejected by the static analyzer at install time.
+    pub plan_rejections: u64,
 }
 
 impl EngineMetrics {
@@ -94,7 +95,7 @@ impl EngineMetrics {
 
     /// Per-query latency summaries keyed by raw query id — the shape
     /// [`MetricsSnapshot::latency_per_query`] wants.
-    pub fn latency_per_query_stats(&self) -> HashMap<u32, LatencyStats> {
+    pub fn latency_per_query_stats(&self) -> FxHashMap<u32, LatencyStats> {
         self.latency
             .iter()
             .map(|(q, h)| (q.0, LatencyStats::from_histogram(h)))
@@ -132,6 +133,7 @@ impl EngineMetrics {
         }
         self.flush_age.merge(&other.flush_age);
         self.busy += other.busy;
+        self.plan_rejections += other.plan_rejections;
     }
 }
 
@@ -147,12 +149,12 @@ pub struct MetricsSnapshot {
     /// Probe lookups performed.
     pub probes: u64,
     /// Results per query (keyed by raw query id).
-    pub results: HashMap<u32, u64>,
+    pub results: FxHashMap<u32, u64>,
     /// Latency statistics over all queries.
     pub latency: LatencyStats,
     /// Latency statistics per query (keyed by raw query id, like
     /// `results`).
-    pub latency_per_query: HashMap<u32, LatencyStats>,
+    pub latency_per_query: FxHashMap<u32, LatencyStats>,
     /// Total bytes held by all stores.
     pub store_bytes: usize,
     /// Total tuples held by all stores.

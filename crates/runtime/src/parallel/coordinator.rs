@@ -28,11 +28,10 @@ use crate::stats_collector::StatsCollector;
 use clash_catalog::{Catalog, Statistics};
 use clash_common::{
     chrome_trace_json, trace_clock_us, ArenaStats, ClashError, Epoch, EpochConfig, Exposition,
-    LatencyHistogram, QueryId, Result, StoreId, Timestamp, TraceEvent, TraceEventKind, TraceRing,
-    Tuple,
+    FxHashSet, LatencyHistogram, QueryId, Result, StoreId, Timestamp, TraceEvent, TraceEventKind,
+    TraceRing, Tuple,
 };
 use clash_optimizer::TopologyPlan;
-use std::collections::HashSet;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -83,7 +82,7 @@ pub(crate) struct EngineCore {
     config: EngineConfig,
     workers: usize,
     plan: Arc<TopologyPlan>,
-    symmetric: Arc<HashSet<StoreId>>,
+    symmetric: Arc<FxHashSet<StoreId>>,
     senders: Vec<Sender<WorkerMsg>>,
     ack_rx: Receiver<WorkerAck>,
     handles: Vec<JoinHandle<()>>,
@@ -927,6 +926,13 @@ impl EngineCore {
     pub(crate) fn install_plan(&mut self, plan: TopologyPlan) -> Result<u64> {
         if self.handles.is_empty() {
             return Err(ClashError::Shutdown);
+        }
+        // Phase 0 — static verification: an invalid plan is rejected
+        // before anything is quiesced, so the running plan and every
+        // in-flight tuple are untouched by the failed install.
+        if let Err(e) = clash_analyzer::gate(&self.catalog, &plan) {
+            self.metrics.plan_rejections += 1;
+            return Err(e);
         }
         // Phase 1 — quiesce: pause admission on every producer and wait
         // for in-flight pushes to finish routing. The guard resumes

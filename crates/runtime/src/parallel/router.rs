@@ -32,9 +32,8 @@
 
 use crate::parallel::worker::{Delivery, WorkerMsg};
 use crate::store::partition_hash;
-use clash_common::{StoreId, Tuple};
+use clash_common::{FxHashSet, StoreId, Tuple};
 use clash_optimizer::{OutputAction, Rule, SendTarget, TopologyPlan};
-use std::collections::HashSet;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
@@ -358,15 +357,15 @@ pub(crate) fn workers_of_store(parallelism: usize, workers: usize) -> usize {
 /// insert was applied with a smaller guard, retroactively otherwise,
 /// GC once the watermark proves no earlier root is in flight) does not
 /// depend on *which* stores are symmetric, so widening the set is safe.
-pub(crate) fn symmetric_stores(plan: &TopologyPlan) -> HashSet<StoreId> {
+pub(crate) fn symmetric_stores(plan: &TopologyPlan) -> FxHashSet<StoreId> {
     // Stores that apply a `Store` rule on any edge.
-    let storing: HashSet<StoreId> = plan
+    let storing: FxHashSet<StoreId> = plan
         .rules
         .iter()
         .filter(|(_, rules)| rules.iter().any(|r| matches!(r, Rule::Store)))
         .map(|((store, _), _)| *store)
         .collect();
-    let mut symmetric: HashSet<StoreId> = HashSet::new();
+    let mut symmetric: FxHashSet<StoreId> = FxHashSet::default();
     for rules in plan.rules.values() {
         for rule in rules {
             let Rule::Probe { outputs, .. } = rule else {
@@ -402,9 +401,9 @@ pub(crate) fn symmetric_stores(plan: &TopologyPlan) -> HashSet<StoreId> {
 /// exactly-once argument is unchanged — it never depended on *which*
 /// stores are symmetric — so the widening trades some pending-prober
 /// bookkeeping for exactness under concurrent ingestion.
-pub(crate) fn symmetric_stores_multi(plan: &TopologyPlan) -> HashSet<StoreId> {
+pub(crate) fn symmetric_stores_multi(plan: &TopologyPlan) -> FxHashSet<StoreId> {
     let mut symmetric = symmetric_stores(plan);
-    let storing: HashSet<StoreId> = plan
+    let storing: FxHashSet<StoreId> = plan
         .rules
         .iter()
         .filter(|(_, rules)| rules.iter().any(|r| matches!(r, Rule::Store)))
@@ -424,7 +423,7 @@ pub(crate) fn symmetric_stores_multi(plan: &TopologyPlan) -> HashSet<StoreId> {
 pub(crate) struct Progress {
     watermark: AtomicU64,
     /// Completed root seqs above the watermark, awaiting contiguity.
-    completed: Mutex<HashSet<u64>>,
+    completed: Mutex<FxHashSet<u64>>,
     condvar: Condvar,
 }
 

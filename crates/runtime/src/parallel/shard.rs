@@ -32,11 +32,10 @@ use crate::stats_collector::StatsCollector;
 use crate::store::StoreInstance;
 use clash_catalog::Catalog;
 use clash_common::{
-    AttrRef, EdgeId, Epoch, EpochConfig, FxHashMap, QueryId, SlotAccessor, StoreId, Timestamp,
-    TraceEventKind, TraceRing, Tuple, Value, Window,
+    AttrRef, EdgeId, Epoch, EpochConfig, FxHashMap, FxHashSet, QueryId, SlotAccessor, StoreId,
+    Timestamp, TraceEventKind, TraceRing, Tuple, Value, Window,
 };
 use clash_optimizer::{OutputAction, Rule, TopologyPlan};
-use std::collections::{HashMap, HashSet};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use std::time::Instant;
@@ -47,16 +46,16 @@ use std::time::Instant;
 #[derive(Debug, Clone)]
 pub(crate) struct StoreLayout {
     /// Expiry window per store.
-    pub windows: HashMap<StoreId, Window>,
+    pub windows: FxHashMap<StoreId, Window>,
     /// Indexed attributes per store.
-    pub indexed: HashMap<StoreId, Vec<AttrRef>>,
+    pub indexed: FxHashMap<StoreId, Vec<AttrRef>>,
 }
 
 impl StoreLayout {
     /// Derives the layout for a plan from the catalog.
     pub fn derive(catalog: &Catalog, plan: &TopologyPlan) -> StoreLayout {
-        let mut windows = HashMap::new();
-        let mut indexed = HashMap::new();
+        let mut windows = FxHashMap::default();
+        let mut indexed = FxHashMap::default();
         for def in &plan.stores {
             windows.insert(def.id, store_window(catalog, def.descriptor.relations));
             indexed.insert(def.id, indexed_attrs(plan, def.id));
@@ -183,7 +182,7 @@ pub(crate) struct ShardState {
     plan: Arc<TopologyPlan>,
     stores: FxHashMap<StoreId, StoreInstance>,
     /// Forward-fed stores requiring symmetric probing.
-    symmetric: Arc<HashSet<StoreId>>,
+    symmetric: Arc<FxHashSet<StoreId>>,
     /// Pending probers per forward-fed store, indexed by join-key value.
     pending: FxHashMap<StoreId, PendingSet>,
     epoch: EpochConfig,
@@ -213,7 +212,7 @@ impl ShardState {
         workers: usize,
         plan: Arc<TopologyPlan>,
         layout: &StoreLayout,
-        symmetric: Arc<HashSet<StoreId>>,
+        symmetric: Arc<FxHashSet<StoreId>>,
         epoch: EpochConfig,
         freeze_after: u64,
         forward_results: bool,
@@ -223,7 +222,7 @@ impl ShardState {
             workers,
             plan: Arc::new(TopologyPlan::default()),
             stores: FxHashMap::default(),
-            symmetric: Arc::new(HashSet::new()),
+            symmetric: Arc::new(FxHashSet::default()),
             pending: FxHashMap::default(),
             epoch,
             freeze_after,
@@ -242,7 +241,7 @@ impl ShardState {
     /// widening). Already-registered pending probers stay registered: the
     /// exactly-once argument holds for any symmetric set, so widening
     /// mid-stream is safe without a drain.
-    pub fn set_symmetric(&mut self, symmetric: Arc<HashSet<StoreId>>) {
+    pub fn set_symmetric(&mut self, symmetric: Arc<FxHashSet<StoreId>>) {
         self.symmetric = symmetric;
     }
 
@@ -254,9 +253,9 @@ impl ShardState {
         &mut self,
         plan: Arc<TopologyPlan>,
         layout: &StoreLayout,
-        symmetric: Arc<HashSet<StoreId>>,
+        symmetric: Arc<FxHashSet<StoreId>>,
     ) {
-        let mut existing: HashMap<String, StoreInstance> = self
+        let mut existing: FxHashMap<String, StoreInstance> = self
             .stores
             .drain()
             .map(|(_, s)| (s.descriptor.key(), s))

@@ -12,11 +12,10 @@ use crate::parallel::router::{fan_out, DepthGauges, Progress, RootHandle};
 use crate::parallel::shard::{ShardState, StoreDetail, StoreLayout};
 use crate::stats_collector::StatsCollector;
 use clash_common::{
-    arena_stats, ArenaStats, EpochConfig, QueryId, StoreId, Timestamp, TraceEvent, TraceEventKind,
-    TraceRing, Tuple,
+    arena_stats, ArenaStats, EpochConfig, FxHashSet, QueryId, StoreId, Timestamp, TraceEvent,
+    TraceEventKind, TraceRing, Tuple,
 };
 use clash_optimizer::{SendTarget, TopologyPlan};
-use std::collections::HashSet;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::Instant;
@@ -73,7 +72,7 @@ pub(crate) enum WorkerMsg {
         /// Store windows and indexed attributes for the new plan.
         layout: Arc<StoreLayout>,
         /// Forward-fed stores of the new plan (symmetric probing).
-        symmetric: Arc<HashSet<StoreId>>,
+        symmetric: Arc<FxHashSet<StoreId>>,
     },
     /// Fire-and-forget expiry (the engine's periodic cadence).
     Expire {
@@ -87,7 +86,7 @@ pub(crate) enum WorkerMsg {
     Subscribe(Sender<(QueryId, Tuple)>),
     /// Replaces the symmetric store set (multi-producer widening) without
     /// reinstalling the plan or touching shard state.
-    SetSymmetric(Arc<HashSet<StoreId>>),
+    SetSymmetric(Arc<FxHashSet<StoreId>>),
     /// Terminates the worker loop.
     Shutdown,
 }
@@ -189,7 +188,7 @@ pub(crate) struct WorkerCtx {
     /// Global completion progress (prober GC horizon).
     pub progress: Arc<Progress>,
     /// Forward-fed stores of the current plan (symmetric probing).
-    pub symmetric: Arc<HashSet<StoreId>>,
+    pub symmetric: Arc<FxHashSet<StoreId>>,
     /// Epoch configuration.
     pub epoch: EpochConfig,
     /// Epoch lag before cold epochs freeze into columnar segments

@@ -8,22 +8,21 @@
 //! epoch.
 
 use clash_catalog::Statistics;
-use clash_common::{AttrRef, Duration, Epoch, RelationId};
+use clash_common::{AttrRef, Duration, Epoch, FxHashMap, RelationId};
 use clash_query::EquiPredicate;
-use std::collections::HashMap;
 
 #[derive(Debug, Default, Clone)]
 struct EpochObservations {
-    arrivals: HashMap<RelationId, u64>,
+    arrivals: FxHashMap<RelationId, u64>,
     /// predicate -> (probes, matches, accumulated probed-store size).
-    predicate_obs: HashMap<(AttrRef, AttrRef), (u64, u64, u64)>,
+    predicate_obs: FxHashMap<(AttrRef, AttrRef), (u64, u64, u64)>,
 }
 
 /// Collects observations keyed by epoch and turns them into
 /// [`Statistics`] snapshots.
 #[derive(Debug, Default)]
 pub struct StatsCollector {
-    epochs: HashMap<Epoch, EpochObservations>,
+    epochs: FxHashMap<Epoch, EpochObservations>,
     epoch_length: Duration,
 }
 
@@ -31,7 +30,7 @@ impl StatsCollector {
     /// Creates a collector for the given epoch length.
     pub fn new(epoch_length: Duration) -> Self {
         StatsCollector {
-            epochs: HashMap::new(),
+            epochs: FxHashMap::default(),
             epoch_length,
         }
     }

@@ -114,6 +114,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         page.contains("clash_store_tuples{store=") && page.contains("clash_arena_reused_total"),
         "store/arena sections missing"
     );
+    // The install gate must surface its rejection counter (zero here:
+    // every installed plan verified clean).
+    assert!(
+        page.contains("clash_plan_rejections_total"),
+        "plan-rejection counter missing"
+    );
     // The tiered state layer must surface its cold tier: segment gauges
     // present, and a 20k-tuple stream spans enough epochs that freezing
     // (on by default) must actually have happened.

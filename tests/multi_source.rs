@@ -565,12 +565,12 @@ fn installs_alternating_plans_match_local_replay_at_install_points() {
         for (i, (relation, tuple)) in realized.iter().enumerate() {
             while install_iter.peek().is_some_and(|(pos, _)| *pos <= i as u64) {
                 let (_, idx) = install_iter.next().expect("peeked");
-                local.install_plan(plans[*idx].clone());
+                local.install_plan(plans[*idx].clone()).unwrap();
             }
             local.ingest(*relation, tuple.clone()).unwrap();
         }
         for (_, idx) in install_iter {
-            local.install_plan(plans[*idx].clone());
+            local.install_plan(plans[*idx].clone()).unwrap();
         }
         assert_eq!(
             result_multiset(local.results()),
